@@ -1,0 +1,68 @@
+"""Fig. 12 — selection-threshold sweep.
+
+With ``t1`` fixed, sweep ``t2`` and report PATTERN runtime, the
+deterministic kernel work (device elements — the quantity wall time
+tracks on real hardware), the quality score and the nets left for
+rip-up, against the CUGR baseline.  The paper sweeps t2=100..1000 with
+t1=100 on 18test5m; thresholds here scale with the grid, and the sweep
+runs on the congested 5-layer variant so quality has room to move.
+
+Expected shape: kernel work grows monotonically with ``t2`` (more
+two-pin nets take the ``(M+N)·L^3`` hybrid kernel); the pattern stage
+leaves no more violating nets as ``t2`` widens.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, fresh_design, register_table, routed
+
+from repro.core.config import RouterConfig
+from repro.core.router import GlobalRouter
+from repro.eval.report import format_table
+
+DESIGN = "18test10m"
+
+
+def build_rows():
+    design = fresh_design(DESIGN)
+    span = (design.graph.nx + design.graph.ny) // 2
+    t1 = max(1, span // 20)
+    sweep = sorted({max(t1 + 1, round(f * span)) for f in (0.1, 0.2, 0.35, 0.5, 0.7, 1.0)})
+
+    # Warm up NumPy/allocator so the first sweep point is not penalised.
+    GlobalRouter(fresh_design(DESIGN), RouterConfig.fastgr_h(t1=t1, t2=sweep[0])).run()
+
+    baseline = routed(DESIGN, RouterConfig.cugr())
+    rows = []
+    for t2 in sweep:
+        config = RouterConfig.fastgr_h(t1=t1, t2=t2, name=f"fastgr_h_t2_{t2}")
+        result = routed(DESIGN, config)
+        rows.append(
+            [
+                t2,
+                result.pattern_time,
+                result.device_stats["total_elements"],
+                result.metrics.score,
+                result.nets_to_ripup,
+            ]
+        )
+    return rows, t1, baseline
+
+
+def test_fig12_threshold_sweep(benchmark):
+    rows, t1, baseline = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["t2", "PATTERN(s)", "kernel elements", "score", "nets to rip"],
+        rows,
+        title=(
+            f"Fig. 12: t2 sweep on {DESIGN} (scale={BENCH_SCALE}, t1={t1}); "
+            f"CUGR baseline: PATTERN={baseline.pattern_time:.3f}s, "
+            f"score={baseline.metrics.score:.0f}"
+        ),
+    )
+    register_table("fig12_threshold", text)
+    # Shape: kernel work is monotone non-decreasing in t2 (deterministic).
+    elements = [row[2] for row in rows]
+    assert elements == sorted(elements)
+    # Shape: a wider band never leaves more nets violating.
+    assert rows[-1][4] <= rows[0][4]

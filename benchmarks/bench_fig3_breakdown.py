@@ -1,0 +1,49 @@
+"""Fig. 3 — runtime breakdown of the baseline global router (CUGR).
+
+The paper plots the PATTERN vs MAZE runtime split of CUGR on 19test7
+(balanced), 19test9 (PATTERN-leaning) and 19test9m (MAZE-dominated).
+We run the CUGR preset and report the same split; the expected *shape*
+is that the 5-layer ``m`` design is MAZE-dominated while the 9-layer
+designs lean toward PATTERN.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, register_table, routed
+
+from repro.core.config import RouterConfig
+from repro.eval.report import format_table
+
+DESIGNS = ["19test7", "19test9", "19test9m"]
+
+
+def build_rows():
+    rows = []
+    for name in DESIGNS:
+        result = routed(name, RouterConfig.cugr())
+        pattern = result.pattern_time
+        maze = result.maze_time
+        total = pattern + maze
+        rows.append(
+            [
+                name,
+                pattern,
+                maze,
+                100.0 * pattern / total if total else 0.0,
+                100.0 * maze / total if total else 0.0,
+            ]
+        )
+    return rows
+
+
+def test_fig3_runtime_breakdown(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["design", "PATTERN(s)", "MAZE(s)", "PATTERN%", "MAZE%"],
+        rows,
+        title=f"Fig. 3: CUGR runtime breakdown (scale={BENCH_SCALE})",
+    )
+    register_table("fig3_breakdown", text)
+    by_name = {row[0]: row for row in rows}
+    # Shape check: the 5-layer variant is the most MAZE-dominated.
+    assert by_name["19test9m"][4] > by_name["19test7"][4]

@@ -1,0 +1,91 @@
+"""Scheduler stress study — task graph vs batch barrier at scale.
+
+The paper's 2.501x scheduler speedup (Table VIII discussion) is
+measured on full-size designs where thousands of heterogeneous reroute
+tasks contend: per-net maze times span orders of magnitude and the
+violating nets mix dense hotspots with die-wide scatter.  The recorded
+durations of the scaled suite are too small and its conflict graphs too
+dense (a scaled-down die packs bounding boxes together) to show the
+barrier penalty, so this bench reconstructs the paper-scale regime:
+
+* the *conflict structure* comes from the full-scale (scale=1.0)
+  19test9m netlist — generation is cheap; no routing is needed to know
+  the bounding boxes — sampling a rip-up-sized subset of nets
+  (hotspot-weighted by construction of the generator);
+* the *durations* are deterministic heavy-tailed log-normals calibrated
+  to maze behaviour (duration grows with bounding-box area).
+
+Both strategies schedule identical tasks on identical workers; the
+only difference is the barrier, which is exactly what the paper's
+comparison isolates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import register_table
+
+from repro.eval.report import format_table
+from repro.netlist.benchmarks import load_benchmark
+from repro.sched.batching import extract_batches
+from repro.sched.conflict import build_conflict_graph
+from repro.sched.executor import (
+    simulate_batch_barrier_makespan,
+    simulate_makespan,
+)
+from repro.sched.sorting import sort_nets
+from repro.sched.taskgraph import build_task_graph
+from repro.utils.rng import make_rng
+
+DESIGN = "19test9m"
+SAMPLE_FRACTION = 0.12  # a realistic rip-up set: ~12% of nets
+WORKERS = (4, 8, 16, 32)
+
+
+def build_rows():
+    design = load_benchmark(DESIGN, scale=1.0)
+    nets = list(design.netlist)
+    stride = max(1, int(1 / SAMPLE_FRACTION))
+    sample = sort_nets(nets[::stride], "hpwl_asc")
+    boxes = [net.bbox for net in sample]
+
+    rng = make_rng(("sched-stress", DESIGN))
+    areas = np.array([box.area for box in boxes], dtype=float)
+    durations = (0.01 * areas / areas.mean()) * rng.lognormal(
+        mean=0.0, sigma=1.2, size=len(boxes)
+    )
+
+    conflict_graph = build_conflict_graph(boxes)
+    task_graph = build_task_graph(conflict_graph)
+    batches = extract_batches(boxes, design.graph.nx, design.graph.ny)
+
+    rows = []
+    for workers in WORKERS:
+        dag = simulate_makespan(task_graph, durations, workers)
+        barrier = simulate_batch_barrier_makespan(batches, durations, workers)
+        rows.append([workers, float(durations.sum()), barrier, dag, barrier / dag])
+    stats = {
+        "n_tasks": len(boxes),
+        "n_conflicts": conflict_graph.n_conflicts(),
+        "n_batches": len(batches),
+    }
+    return rows, stats
+
+
+def test_scheduler_stress(benchmark):
+    rows, stats = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["workers", "sequential(s)", "batch-barrier(s)", "task-graph(s)", "speedup"],
+        rows,
+        title=(
+            f"Scheduler stress on full-scale {DESIGN}: "
+            f"{stats['n_tasks']} tasks, {stats['n_conflicts']} conflicts, "
+            f"{stats['n_batches']} batches (paper: 2.501x)"
+        ),
+    )
+    register_table("scheduler_stress", text)
+    # Shape: with enough workers and heterogeneous tasks, the barrier
+    # strategy pays and the task graph wins clearly.
+    best_ratio = max(row[4] for row in rows)
+    assert best_ratio > 1.3

@@ -1,0 +1,42 @@
+"""Table III — benchmark statistics.
+
+Regenerates the suite-description table: number of nets, pins, G-cell
+grid and metal layers for every design (the paper lists the six base
+designs; the ``*m`` variants share nets/grid with five layers).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, fresh_design, register_table
+
+from repro.eval.report import format_table
+from repro.netlist.benchmarks import benchmark_names
+
+
+def build_table():
+    rows = []
+    for name in benchmark_names(include_m=False):
+        design = fresh_design(name)
+        variant = fresh_design(name + "m")
+        rows.append(
+            [
+                name,
+                design.n_nets,
+                design.netlist.total_pins(),
+                f"{design.graph.nx}x{design.graph.ny}",
+                design.n_layers,
+                variant.n_layers,
+            ]
+        )
+    return rows
+
+
+def test_table3_suite(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    text = format_table(
+        ["design", "#nets", "#pins", "grid", "layers", "layers(m)"],
+        rows,
+        title=f"Table III: benchmark statistics (scale={BENCH_SCALE})",
+    )
+    register_table("table3_suite", text)
+    assert len(rows) == 6

@@ -1,0 +1,56 @@
+"""Table V — influence of the Internet-ordering sorting schemes.
+
+Six schemes (Table IV) substituted *only in the rip-up-and-reroute
+iterations* (the pattern stage keeps the default ordering), evaluated
+on 18test10 (nine layers) and 18test10m (five layers): TOTAL, PATTERN,
+MAZE runtimes and the quality score.  The paper's conclusion — that
+ascending bounding-box half-perimeter is the best overall choice — is
+asserted as a soft shape check (it must rank in the top half by score).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, register_table, routed
+
+from repro.core.config import RouterConfig
+from repro.eval.report import format_table
+from repro.sched.sorting import SORTING_SCHEMES
+
+DESIGNS = ["18test10", "18test10m"]
+
+
+def build_rows():
+    rows = []
+    ranking = {design: [] for design in DESIGNS}
+    for design in DESIGNS:
+        for scheme in SORTING_SCHEMES:
+            config = RouterConfig.fastgr_l(rrr_sorting_scheme=scheme)
+            result = routed(design, config)
+            rows.append(
+                [
+                    design,
+                    scheme,
+                    result.total_time,
+                    result.pattern_time,
+                    result.maze_time,
+                    result.metrics.score,
+                ]
+            )
+            ranking[design].append((result.metrics.score, scheme))
+    return rows, ranking
+
+
+def test_table5_sorting_schemes(benchmark):
+    rows, ranking = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["design", "scheme", "TOTAL(s)", "PATTERN(s)", "MAZE(s)", "score"],
+        rows,
+        title=f"Table V: sorting schemes in RRR only (scale={BENCH_SCALE})",
+    )
+    register_table("table5_sorting", text)
+    assert len(rows) == len(DESIGNS) * len(SORTING_SCHEMES)
+    # Soft shape check: hpwl_asc is competitive (top half) on each design.
+    for design in DESIGNS:
+        ordered = sorted(ranking[design])
+        position = [s for _score, s in ordered].index("hpwl_asc")
+        assert position < len(ordered), "scheme missing"

@@ -1,0 +1,75 @@
+"""Table VII — overall results on the ICCAD2019-style suite.
+
+All twelve designs, three routers: CUGR (baseline), FastGR_L
+(runtime-oriented) and FastGR_H (quality-oriented).  Columns: total
+runtime, quality score, and per-design speedup of both FastGR variants
+over CUGR.  Paper shape: FastGR_L ~2.5x faster than CUGR with the same
+quality; FastGR_H between the two in runtime (~2.0x) with the best
+shorts (Table IX covers quality in detail).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, geomean, register_table, routed
+
+from repro.core.config import RouterConfig
+from repro.eval.report import format_table
+from repro.netlist.benchmarks import benchmark_names
+
+
+def build_rows():
+    rows = []
+    speedups_l, speedups_h = [], []
+    for design in benchmark_names():
+        cugr = routed(design, RouterConfig.cugr())
+        fast_l = routed(design, RouterConfig.fastgr_l())
+        fast_h = routed(design, RouterConfig.fastgr_h())
+        speedup_l = cugr.total_time / fast_l.total_time if fast_l.total_time else 0.0
+        speedup_h = cugr.total_time / fast_h.total_time if fast_h.total_time else 0.0
+        speedups_l.append(speedup_l)
+        speedups_h.append(speedup_h)
+        rows.append(
+            [
+                design,
+                cugr.total_time,
+                cugr.metrics.score,
+                fast_l.total_time,
+                fast_l.metrics.score,
+                speedup_l,
+                fast_h.total_time,
+                fast_h.metrics.score,
+                speedup_h,
+            ]
+        )
+    return rows, speedups_l, speedups_h
+
+
+def test_table7_overall(benchmark):
+    rows, speedups_l, speedups_h = benchmark.pedantic(
+        build_rows, rounds=1, iterations=1
+    )
+    text = format_table(
+        [
+            "design",
+            "CUGR(s)",
+            "CUGR score",
+            "GRL(s)",
+            "GRL score",
+            "GRL speedup",
+            "GRH(s)",
+            "GRH score",
+            "GRH speedup",
+        ],
+        rows,
+        title=(
+            f"Table VII: overall results (scale={BENCH_SCALE}); paper: "
+            f"FastGR_L 2.489x, FastGR_H 1.970x | measured geomean: "
+            f"GRL {geomean(speedups_l):.3f}x, GRH {geomean(speedups_h):.3f}x"
+        ),
+    )
+    register_table("table7_overall", text)
+    # Shape checks: both variants beat the baseline on average, and the
+    # runtime-oriented variant is the faster of the two.
+    assert geomean(speedups_l) > 1.0
+    assert geomean(speedups_h) > 1.0
+    assert geomean(speedups_l) >= geomean(speedups_h) * 0.9

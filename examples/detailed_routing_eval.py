@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Study: detailed-routing quality of different global routers' guides.
+
+Runs CUGR, FastGR_L and FastGR_H on the same design, feeds each set of
+guides to the track-assignment detailed router (the Dr. CU stand-in),
+and compares final wirelength / vias / shorts / spacing violations —
+the paper's Table X evaluation.
+
+Usage::
+
+    python examples/detailed_routing_eval.py [design] [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GlobalRouter, RouterConfig, load_benchmark
+from repro.detail.drouter import DetailedRouter
+from repro.eval.report import format_table
+
+
+def main() -> None:
+    design_name = sys.argv[1] if len(sys.argv) > 1 else "18test10m"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+
+    rows = []
+    for config in (
+        RouterConfig.cugr(),
+        RouterConfig.fastgr_l(),
+        RouterConfig.fastgr_h(),
+    ):
+        design = load_benchmark(design_name, scale=scale)
+        result = GlobalRouter(design, config).run()
+        detail = DetailedRouter(design).run(result.routes)
+        rows.append(
+            [
+                config.name,
+                result.metrics.shorts,
+                detail.wirelength,
+                detail.n_vias,
+                detail.shorts,
+                detail.spacing_violations,
+            ]
+        )
+
+    print(
+        format_table(
+            ["router", "GR shorts", "DR wl", "DR vias", "DR shorts", "DR spacing"],
+            rows,
+            title=f"Detailed-routing evaluation on {design_name} (scale={scale})",
+        )
+    )
+    print(
+        "\nGuides that overflow the global grid surface as detailed metal "
+        "shorts; FastGR_H's extra candidates typically reduce them (Table X)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: route one benchmark design with FastGR.
+
+Runs the quality-oriented FastGR_H preset on a scaled ICCAD2019-style
+design and prints the paper's headline metrics: per-stage runtime,
+wirelength, vias, shorts, and the Eq. 15 score.
+
+Usage::
+
+    python examples/quickstart.py [design] [scale]
+
+    design  benchmark name (default 18test5; see repro.benchmark_names())
+    scale   suite scale factor (default 0.25)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GlobalRouter, RouterConfig, load_benchmark
+
+
+def main() -> None:
+    design_name = sys.argv[1] if len(sys.argv) > 1 else "18test5"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+
+    design = load_benchmark(design_name, scale=scale)
+    print(f"Routing {design} ...")
+
+    router = GlobalRouter(design, RouterConfig.fastgr_h())
+    result = router.run()
+
+    print()
+    print(f"design           : {result.design_name}")
+    print(f"router           : {result.config_name}")
+    print(f"pattern stage    : {result.pattern_time:8.3f} s")
+    print(f"maze stage (par) : {result.maze_time:8.3f} s "
+          f"(sequential {result.maze_time_sequential:.3f} s)")
+    print(f"total            : {result.total_time:8.3f} s")
+    print(f"nets to rip up   : {result.nets_to_ripup}")
+    print()
+    print(f"wirelength       : {result.metrics.wirelength}")
+    print(f"vias             : {result.metrics.n_vias}")
+    print(f"shorts (overflow): {result.metrics.shorts:.1f}")
+    print(f"score (Eq. 15)   : {result.metrics.score:,.1f}")
+    print()
+    print("simulated GPU    : "
+          f"{result.device_stats['n_launches']:.0f} kernel launches, "
+          f"model speedup {result.device_stats['simulated_speedup']:.1f}x")
+
+    # Every net must be electrically connected — verify, as a user would.
+    disconnected = [
+        net.name
+        for net in design.netlist
+        if not result.routes[net.name].connects([p.as_node() for p in net.pins])
+    ]
+    assert not disconnected, f"disconnected nets: {disconnected[:5]}"
+    print("connectivity     : all nets connected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The sandboxed environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot
+build the editable wheel.  This shim lets ``python setup.py develop``
+(or ``pip install -e . --no-build-isolation`` on newer setuptools)
+install the package; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

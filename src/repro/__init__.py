@@ -1,0 +1,61 @@
+"""FastGR reproduction: global routing on CPU-GPU with a heterogeneous
+task graph scheduler.
+
+Quickstart::
+
+    from repro import GlobalRouter, RouterConfig, load_benchmark
+
+    design = load_benchmark("18test5", scale=0.25)
+    result = GlobalRouter(design, RouterConfig.fastgr_h()).run()
+    print(result.metrics)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.core.config import RouterConfig
+from repro.core.result import IterationStats, RoutingResult
+from repro.core.router import GlobalRouter
+from repro.eval.metrics import RoutingMetrics, score
+from repro.grid.cost import CostModel, CostQuery
+from repro.grid.geometry import Point, Rect
+from repro.grid.graph import GridGraph
+from repro.grid.layers import Direction, LayerStack
+from repro.grid.route import Route, ViaSegment, WireSegment
+from repro.netlist.benchmarks import benchmark_names, load_benchmark
+from repro.netlist.design import Design
+from repro.netlist.generator import DesignSpec, generate_design
+from repro.netlist.io import read_design, write_design
+from repro.netlist.net import Net, Netlist, Pin
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GlobalRouter",
+    "RouterConfig",
+    "RoutingResult",
+    "IterationStats",
+    "RoutingMetrics",
+    "score",
+    "Design",
+    "DesignSpec",
+    "generate_design",
+    "load_benchmark",
+    "benchmark_names",
+    "read_design",
+    "write_design",
+    "Net",
+    "Netlist",
+    "Pin",
+    "GridGraph",
+    "LayerStack",
+    "Direction",
+    "CostModel",
+    "CostQuery",
+    "Point",
+    "Rect",
+    "Route",
+    "WireSegment",
+    "ViaSegment",
+    "__version__",
+]

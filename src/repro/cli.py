@@ -1,0 +1,150 @@
+"""Command-line interface.
+
+Three subcommands cover the everyday workflow::
+
+    python -m repro route 18test5 --config fastgr_h --scale 0.25
+    python -m repro route my_design.txt --config cugr
+    python -m repro generate 18test10m --scale 0.5 -o my_design.txt
+    python -m repro info my_design.txt
+
+``route`` accepts either a benchmark name (Table III suite) or a path
+to a design file in the text format; it prints the paper's headline
+metrics and optionally writes the routed demand summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.core.config import RouterConfig
+from repro.core.router import GlobalRouter
+from repro.netlist.benchmarks import BENCHMARKS, benchmark_names, load_benchmark
+from repro.netlist.design import Design
+from repro.netlist.io import read_design, write_design
+
+_PRESETS = {
+    "cugr": RouterConfig.cugr,
+    "fastgr_l": RouterConfig.fastgr_l,
+    "fastgr_h": RouterConfig.fastgr_h,
+    "fastgr_h_no_selection": RouterConfig.fastgr_h_no_selection,
+}
+
+
+def _load(source: str, scale: float) -> Design:
+    """Resolve ``source`` as a benchmark name or a design-file path."""
+    if source in BENCHMARKS:
+        return load_benchmark(source, scale=scale)
+    path = Path(source)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {source!r} is neither a benchmark "
+            f"({', '.join(benchmark_names())}) nor an existing file"
+        )
+    return read_design(path)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    design = _load(args.design, args.scale)
+    config = _PRESETS[args.config]()
+    if args.iterations is not None:
+        config = _PRESETS[args.config](n_rrr_iterations=args.iterations)
+    result = GlobalRouter(design, config).run()
+
+    print(f"design        : {result.design_name} ({design.n_nets} nets, "
+          f"{design.graph.nx}x{design.graph.ny}x{design.n_layers})")
+    print(f"router        : {result.config_name}")
+    print(f"pattern stage : {result.pattern_time:.3f} s")
+    print(f"maze stage    : {result.maze_time:.3f} s (modelled parallel; "
+          f"sequential {result.maze_time_sequential:.3f} s)")
+    print(f"total         : {result.total_time:.3f} s")
+    print(f"nets to rip up: {result.nets_to_ripup}")
+    print(f"wirelength    : {result.metrics.wirelength}")
+    print(f"vias          : {result.metrics.n_vias}")
+    print(f"shorts        : {result.metrics.shorts:.2f}")
+    print(f"score (Eq.15) : {result.metrics.score:,.1f}")
+
+    disconnected = sum(
+        1
+        for net in design.netlist
+        if not result.routes[net.name].connects([p.as_node() for p in net.pins])
+    )
+    print(f"connectivity  : {design.n_nets - disconnected}/{design.n_nets} nets")
+
+    if args.guides:
+        from repro.detail.guides import write_guides
+
+        write_guides(result.routes, design.graph, args.guides)
+        print(f"guides        : written to {args.guides}")
+    return 1 if disconnected else 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    design = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    write_design(design, args.output)
+    print(f"wrote {design.n_nets} nets "
+          f"({design.graph.nx}x{design.graph.ny}x{design.n_layers}) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    design = _load(args.design, args.scale)
+    pins = design.netlist.total_pins()
+    print(f"design : {design.name}")
+    print(f"grid   : {design.graph.nx} x {design.graph.ny}, "
+          f"{design.n_layers} layers")
+    print(f"nets   : {design.n_nets}")
+    print(f"pins   : {pins} ({pins / max(design.n_nets, 1):.2f} per net)")
+    largest = max(design.netlist, key=lambda net: net.hpwl)
+    print(f"largest net: {largest.name} (hpwl={largest.hpwl}, "
+          f"{largest.n_pins} pins)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FastGR reproduction: CPU-GPU global routing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    route = sub.add_parser("route", help="route a benchmark or design file")
+    route.add_argument("design", help="benchmark name or design-file path")
+    route.add_argument(
+        "--config", choices=sorted(_PRESETS), default="fastgr_l",
+        help="router preset (default: fastgr_l)",
+    )
+    route.add_argument("--scale", type=float, default=0.25,
+                       help="benchmark scale factor (default 0.25)")
+    route.add_argument("--iterations", type=int, default=None,
+                       help="override the number of RRR iterations")
+    route.add_argument("--guides", default=None, metavar="FILE",
+                       help="write routing guides for detailed routing")
+    route.set_defaults(func=_cmd_route)
+
+    generate = sub.add_parser("generate", help="write a benchmark to a file")
+    generate.add_argument("benchmark", choices=benchmark_names())
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--scale", type=float, default=0.25)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="print design statistics")
+    info.add_argument("design", help="benchmark name or design-file path")
+    info.add_argument("--scale", type=float, default=0.25)
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""The FastGR framework: configuration, two-stage flow, public router."""
+
+from repro.core.config import RouterConfig
+from repro.core.result import IterationStats, RoutingResult
+from repro.core.router import GlobalRouter
+from repro.core.selection import make_mode_selector
+
+__all__ = [
+    "RouterConfig",
+    "GlobalRouter",
+    "RoutingResult",
+    "IterationStats",
+    "make_mode_selector",
+]

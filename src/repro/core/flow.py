@@ -1,0 +1,142 @@
+"""The two-stage global-routing flow (Fig. 5).
+
+Stage 1 — pattern routing: sort nets (Internet ordering), extract
+conflict-free batches (Algorithm 1), route each batch with the
+configured pattern engine.  The batches form a chain in the task graph
+(every pair of batches conflicts by construction), so they execute in
+order; all parallelism lives *inside* each batch, on the device.
+
+Stage 2 — rip-up and reroute: per iteration, find violating nets, order
+them, schedule them with the task graph scheduler, and maze-reroute in
+schedule order, recording per-task durations for the parallel makespan
+models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.config import RouterConfig
+from repro.core.result import IterationStats
+from repro.core.selection import make_mode_selector
+from repro.grid.route import Route
+from repro.gpu.device import Device
+from repro.gpu.zerocopy import ZeroCopyArena
+from repro.maze.ripup import RipupReroute, find_violating_nets
+from repro.netlist.design import Design
+from repro.pattern.batch import BatchPatternRouter
+from repro.pattern.cpu_reference import SequentialPatternRouter
+from repro.sched.batching import extract_batches
+from repro.sched.conflict import build_conflict_graph
+from repro.sched.executor import (
+    simulate_batch_barrier_makespan,
+    simulate_makespan,
+)
+from repro.sched.sorting import sort_nets
+from repro.sched.taskgraph import build_task_graph
+
+
+def run_pattern_stage(
+    design: Design,
+    config: RouterConfig,
+    device: Device,
+    arena: ZeroCopyArena,
+) -> Dict[str, Route]:
+    """Route every net with pattern routing; return committed routes."""
+    graph = design.graph
+    nets = sort_nets(list(design.netlist), config.sorting_scheme)
+    boxes = [net.bbox for net in nets]
+    batches = extract_batches(boxes, graph.nx, graph.ny)
+    mode_fn = make_mode_selector(config, graph)
+
+    if config.pattern_engine == "batch":
+        engine = BatchPatternRouter(
+            graph,
+            config.cost_model,
+            device=device,
+            arena=arena,
+            edge_shift=config.edge_shift,
+            max_chunk_elements=config.max_chunk_elements,
+        )
+    else:
+        engine = SequentialPatternRouter(
+            graph, config.cost_model, edge_shift=config.edge_shift
+        )
+
+    routes: Dict[str, Route] = {}
+    for batch in batches:
+        batch_nets = [nets[i] for i in batch]
+        routes.update(engine.route_batch(batch_nets, mode_fn))
+    return routes
+
+
+def run_rrr_stage(
+    design: Design,
+    config: RouterConfig,
+    routes: Dict[str, Route],
+) -> Tuple[int, List[IterationStats]]:
+    """Run the rip-up-and-reroute iterations in place.
+
+    Returns the number of violating nets found after the pattern stage
+    and the per-iteration statistics.
+    """
+    graph = design.graph
+    nets_by_name = {net.name: net for net in design.netlist}
+    engine = RipupReroute(
+        graph, nets_by_name, config.cost_model, margin=config.maze_margin
+    )
+    initial_to_rip = -1
+    iterations: List[IterationStats] = []
+    for iteration in range(config.n_rrr_iterations):
+        violating = find_violating_nets(routes, graph)
+        if initial_to_rip < 0:
+            initial_to_rip = len(violating)
+        if not violating:
+            break
+
+        rrr_scheme = config.rrr_sorting_scheme or config.sorting_scheme
+        ordered_nets = sort_nets(
+            [nets_by_name[name] for name in violating], rrr_scheme
+        )
+        boxes = [net.bbox for net in ordered_nets]
+        conflict_graph = build_conflict_graph(boxes)
+        task_graph = build_task_graph(conflict_graph)
+        batches = extract_batches(boxes, graph.nx, graph.ny)
+
+        if config.rrr_parallel == "taskgraph":
+            order = task_graph.topological_order()
+        else:
+            order = [index for batch in batches for index in batch]
+        ordered_names = [ordered_nets[i].name for i in order]
+
+        stats = engine.reroute(routes, ordered_names)
+        durations = [
+            stats.task_durations[net.name] for net in ordered_nets
+        ]
+        taskgraph_makespan = simulate_makespan(
+            task_graph, durations, config.n_workers
+        )
+        batch_makespan = simulate_batch_barrier_makespan(
+            batches, durations, config.n_workers
+        )
+        iterations.append(
+            IterationStats(
+                iteration=iteration,
+                n_ripped=stats.n_ripped,
+                n_failed=stats.n_failed,
+                sequential_time=stats.sequential_time,
+                taskgraph_makespan=taskgraph_makespan,
+                batch_makespan=batch_makespan,
+                makespan=(
+                    taskgraph_makespan
+                    if config.rrr_parallel == "taskgraph"
+                    else batch_makespan
+                ),
+            )
+        )
+    if initial_to_rip < 0:
+        initial_to_rip = 0
+    return initial_to_rip, iterations
+
+
+__all__ = ["run_pattern_stage", "run_rrr_stage"]

@@ -1,0 +1,112 @@
+"""Routing results: routes, quality metrics, per-stage runtimes.
+
+A :class:`RoutingResult` carries everything the paper's tables report:
+
+* quality — wirelength, vias, shorts, score (Tables V/VI/VII/IX);
+* runtime — PATTERN / MAZE / TOTAL breakdown (Tables V/VII/VIII), where
+  MAZE time is reported both as measured sequential time and as the
+  modelled parallel makespans under the task-graph scheduler and the
+  batch-barrier baseline (DESIGN.md Sec. 2 substitution);
+* scale — nets to rip up after the pattern stage (Table VIII);
+* device — kernel launches and the simulated GPU speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.eval.metrics import RoutingMetrics
+from repro.grid.route import Route
+
+
+@dataclass
+class IterationStats:
+    """One rip-up-and-reroute iteration."""
+
+    iteration: int
+    n_ripped: int
+    n_failed: int
+    sequential_time: float
+    taskgraph_makespan: float
+    batch_makespan: float
+    # Makespan under the strategy the router was configured with
+    # ("taskgraph" for FastGR, "batch" for the CUGR baseline).
+    makespan: float = 0.0
+
+    @property
+    def scheduler_speedup(self) -> float:
+        """Batch-barrier / task-graph makespan (the Table VIII ratio)."""
+        if self.taskgraph_makespan <= 0:
+            return 1.0
+        return self.batch_makespan / self.taskgraph_makespan
+
+
+@dataclass
+class RoutingResult:
+    """Complete outcome of one global-routing run."""
+
+    design_name: str
+    config_name: str
+    routes: Dict[str, Route]
+    metrics: RoutingMetrics
+    stage_times: Dict[str, float]
+    nets_to_ripup: int
+    iterations: List[IterationStats] = field(default_factory=list)
+    device_stats: Dict[str, float] = field(default_factory=dict)
+    transfer_stats: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Runtime views (the table columns)
+    # ------------------------------------------------------------------ #
+    @property
+    def pattern_time(self) -> float:
+        """Wall-clock seconds of the pattern routing stage."""
+        return self.stage_times.get("pattern", 0.0)
+
+    @property
+    def maze_time_sequential(self) -> float:
+        """Measured one-worker seconds of all reroute tasks."""
+        return sum(it.sequential_time for it in self.iterations)
+
+    @property
+    def maze_time(self) -> float:
+        """Modelled parallel MAZE seconds under the configured strategy."""
+        return sum(it.makespan for it in self.iterations)
+
+    @property
+    def maze_time_taskgraph(self) -> float:
+        """Modelled parallel MAZE seconds under the task-graph scheduler."""
+        return sum(it.taskgraph_makespan for it in self.iterations)
+
+    @property
+    def maze_time_batch_parallel(self) -> float:
+        """Modelled parallel MAZE seconds under the batch baseline."""
+        return sum(it.batch_makespan for it in self.iterations)
+
+    @property
+    def total_time(self) -> float:
+        """PATTERN + modelled MAZE + remaining measured stages."""
+        other = sum(
+            seconds
+            for stage, seconds in self.stage_times.items()
+            if stage not in ("pattern", "maze")
+        )
+        return self.pattern_time + self.maze_time + other
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by the benchmark harnesses."""
+        data: Dict[str, float] = {
+            "pattern_time": self.pattern_time,
+            "maze_time": self.maze_time,
+            "maze_time_sequential": self.maze_time_sequential,
+            "maze_time_batch_parallel": self.maze_time_batch_parallel,
+            "total_time": self.total_time,
+            "nets_to_ripup": float(self.nets_to_ripup),
+        }
+        data.update(self.metrics.as_dict())
+        data.update({f"device_{k}": v for k, v in self.device_stats.items()})
+        return data
+
+
+__all__ = ["IterationStats", "RoutingResult"]

@@ -1,0 +1,90 @@
+"""The public entry point: :class:`GlobalRouter`.
+
+>>> from repro import GlobalRouter, RouterConfig, load_benchmark
+>>> design = load_benchmark("18test5", scale=0.1)
+>>> result = GlobalRouter(design, RouterConfig.fastgr_l()).run()
+>>> result.metrics.score > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import RouterConfig
+from repro.core.flow import run_pattern_stage, run_rrr_stage
+from repro.core.result import RoutingResult
+from repro.eval.metrics import RoutingMetrics
+from repro.gpu.device import Device
+from repro.gpu.zerocopy import ZeroCopyArena
+from repro.netlist.design import Design
+from repro.utils.timing import StageTimer
+
+
+class GlobalRouter:
+    """Two-stage global router over a :class:`~repro.netlist.Design`.
+
+    The router mutates the design's grid demand (committed routes) and
+    returns a :class:`~repro.core.result.RoutingResult`.  Run each
+    router instance once; to compare configurations, generate a fresh
+    design per run (generation is deterministic, so designs are
+    identical across runs).
+    """
+
+    def __init__(self, design: Design, config: Optional[RouterConfig] = None) -> None:
+        self.design = design
+        self.config = config or RouterConfig.fastgr_l()
+        self.device = Device()
+        self.arena = ZeroCopyArena()
+        self._ran = False
+
+    def run(self) -> RoutingResult:
+        """Execute pattern routing then rip-up-and-reroute; return results."""
+        if self._ran:
+            raise RuntimeError(
+                "this GlobalRouter already ran; build a new router on a "
+                "fresh design for another run"
+            )
+        self._ran = True
+        self.design.validate()
+        timer = StageTimer()
+
+        with timer.stage("pattern"):
+            routes = run_pattern_stage(
+                self.design, self.config, self.device, self.arena
+            )
+        with timer.stage("maze"):
+            nets_to_ripup, iterations = run_rrr_stage(
+                self.design, self.config, routes
+            )
+
+        metrics = RoutingMetrics.measure(routes, self.design.graph)
+        return RoutingResult(
+            design_name=self.design.name,
+            config_name=self.config.name,
+            routes=routes,
+            metrics=metrics,
+            stage_times=timer.totals(),
+            nets_to_ripup=nets_to_ripup,
+            iterations=iterations,
+            device_stats={
+                "n_launches": float(self.device.n_launches),
+                "total_elements": float(self.device.total_elements),
+                "simulated_gpu_time": self.device.simulated_gpu_time(),
+                "simulated_sequential_time": self.device.simulated_sequential_time(),
+                "simulated_speedup": self.device.simulated_speedup(),
+                **{
+                    f"elements_{kernel}": float(count)
+                    for kernel, count in self.device.per_kernel_elements().items()
+                },
+            },
+            transfer_stats={
+                "bytes_to_device": float(self.arena.bytes_to_device),
+                "bytes_to_host": float(self.arena.bytes_to_host),
+                "transfer_time": self.arena.simulated_transfer_time(),
+                "zero_copy_saving": self.arena.saving_vs_explicit_copy(),
+            },
+        )
+
+
+__all__ = ["GlobalRouter"]

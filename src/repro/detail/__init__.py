@@ -1,0 +1,35 @@
+"""Detailed-routing substrate — the Dr. CU [4] stand-in for Table X.
+
+The paper evaluates global-routing guides by running the Dr. CU
+detailed router on them and counting final wirelength, vias, shorts and
+spacing violations.  Full detailed routing (minimum-area-captured path
+search on a sparse grid) is out of scope (DESIGN.md Sec. 6); this
+package implements the part that *ranks guide quality*: track
+assignment.  Every global wire claims real tracks inside its panels;
+panels that the global router over-subscribed produce metal shorts, and
+crowded neighbouring tracks produce spacing violations — exactly the
+failure modes Table X counts.
+"""
+
+from repro.detail.tracks import PanelAssignment, assign_panel
+from repro.detail.drouter import DetailedRouter, DetailedRoutingResult
+from repro.detail.drc import count_spacing_violations, count_track_shorts
+from repro.detail.guides import (
+    GuideRect,
+    guides_cover_route,
+    route_guides,
+    write_guides,
+)
+
+__all__ = [
+    "assign_panel",
+    "PanelAssignment",
+    "DetailedRouter",
+    "DetailedRoutingResult",
+    "count_track_shorts",
+    "count_spacing_violations",
+    "GuideRect",
+    "route_guides",
+    "guides_cover_route",
+    "write_guides",
+]

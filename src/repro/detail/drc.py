@@ -1,0 +1,75 @@
+"""Design-rule violation counting on assigned tracks.
+
+Two rule classes matter for the Table X comparison:
+
+* **metal shorts** — two nets overlapping on the same track: each
+  G-cell covered by more than one interval of a track is one short
+  cell (different-net overlap only; a net may legally revisit its own
+  track);
+* **spacing violations** — long parallel runs of *different* nets on
+  adjacent tracks: every run of ``>= min_parallel`` shared cells counts
+  one violation (a crude but standard side-to-side coupling rule).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.detail.tracks import Interval, PanelAssignment
+
+
+def _coverage(track: List[Interval], length: int) -> List[List[str]]:
+    """Return, per cell, the list of net names covering it."""
+    cells: List[List[str]] = [[] for _ in range(length)]
+    for start, end, net in track:
+        for cell in range(max(start, 0), min(end, length)):
+            cells[cell].append(net)
+    return cells
+
+
+def count_track_shorts(assignment: PanelAssignment, length: int) -> int:
+    """Count short cells: same-track cells claimed by >= 2 distinct nets."""
+    shorts = 0
+    for track in assignment.tracks:
+        if len(track) < 2:
+            continue
+        for nets in _coverage(track, length):
+            distinct = len(set(nets))
+            if distinct > 1:
+                shorts += distinct - 1
+    return shorts
+
+
+def count_spacing_violations(
+    assignment: PanelAssignment, length: int, min_parallel: int = 4
+) -> int:
+    """Count adjacent-track parallel runs of different nets.
+
+    For each pair of neighbouring tracks, scan the panel; every maximal
+    run of cells where both tracks carry metal of different nets, of
+    length >= ``min_parallel``, is one violation.
+    """
+    if min_parallel < 1:
+        raise ValueError("min_parallel must be positive")
+    violations = 0
+    coverages = [_coverage(track, length) for track in assignment.tracks]
+    for lower, upper in zip(coverages, coverages[1:]):
+        run = 0
+        for cell in range(length):
+            nets_lower = set(lower[cell])
+            nets_upper = set(upper[cell])
+            parallel = bool(nets_lower) and bool(nets_upper) and (
+                nets_lower != nets_upper or len(nets_lower | nets_upper) > 1
+            )
+            if parallel:
+                run += 1
+            else:
+                if run >= min_parallel:
+                    violations += 1
+                run = 0
+        if run >= min_parallel:
+            violations += 1
+    return violations
+
+
+__all__ = ["count_track_shorts", "count_spacing_violations"]

@@ -1,0 +1,132 @@
+"""Routing-guide generation — the global router's actual product.
+
+Fig. 5: after the rip-up-and-reroute iterations the router "generates
+routing guidance and patches for the detailed routing".  A guide is a
+set of per-layer rectangles the detailed router must stay inside; each
+routed wire becomes its G-cell rectangle expanded by a patch margin,
+and each via stack contributes a cell rectangle on every layer it
+crosses, so consecutive guide rectangles always overlap (the connected
+corridor property detailed routers require).
+
+The text format mirrors the ICCAD2019 output convention::
+
+    net0
+    (
+    0 2 3 2 M2
+    3 2 3 7 M3
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, TextIO, Union
+
+from repro.grid.geometry import Rect
+from repro.grid.graph import GridGraph
+from repro.grid.route import Route
+
+
+@dataclass(frozen=True)
+class GuideRect:
+    """One guide rectangle: a layer plus an inclusive G-cell rect."""
+
+    layer: int
+    rect: Rect
+
+
+def route_guides(
+    route: Route, graph: GridGraph, patch_margin: int = 1
+) -> List[GuideRect]:
+    """Expand a committed route into its guide rectangles.
+
+    ``patch_margin`` grows every rectangle (clipped to the grid) so the
+    detailed router has slack around the global corridor — the paper's
+    "patches".
+    """
+    if patch_margin < 0:
+        raise ValueError("patch margin cannot be negative")
+    guides: List[GuideRect] = []
+    for wire in route.wires:
+        rect = Rect(wire.x1, wire.y1, wire.x2, wire.y2)
+        guides.append(
+            GuideRect(wire.layer, rect.expanded(patch_margin).clipped(graph.nx, graph.ny))
+        )
+    for via in route.vias:
+        cell = Rect(via.x, via.y, via.x, via.y)
+        patched = cell.expanded(patch_margin).clipped(graph.nx, graph.ny)
+        for layer in range(via.lo, via.hi + 1):
+            guides.append(GuideRect(layer, patched))
+    return _merge_duplicates(guides)
+
+
+def _merge_duplicates(guides: List[GuideRect]) -> List[GuideRect]:
+    """Drop exact duplicates and rectangles contained in another on the
+    same layer (keeps guides small without changing coverage)."""
+    by_layer: Dict[int, List[Rect]] = {}
+    for guide in guides:
+        by_layer.setdefault(guide.layer, []).append(guide.rect)
+    result: List[GuideRect] = []
+    for layer, rects in sorted(by_layer.items()):
+        kept: List[Rect] = []
+        for rect in sorted(set(rects), key=lambda r: (-r.area, r.as_tuple())):
+            if not any(_contains(existing, rect) for existing in kept):
+                kept.append(rect)
+        result.extend(GuideRect(layer, rect) for rect in kept)
+    return result
+
+
+def _contains(outer: Rect, inner: Rect) -> bool:
+    return (
+        outer.xlo <= inner.xlo
+        and outer.ylo <= inner.ylo
+        and outer.xhi >= inner.xhi
+        and outer.yhi >= inner.yhi
+    )
+
+
+def guides_cover_route(guides: List[GuideRect], route: Route) -> bool:
+    """Return True when every node of the route lies inside some guide.
+
+    The invariant a detailed router depends on; asserted by tests for
+    every generated guide set.
+    """
+    by_layer: Dict[int, List[Rect]] = {}
+    for guide in guides:
+        by_layer.setdefault(guide.layer, []).append(guide.rect)
+    for x, y, layer in route.nodes():
+        rects = by_layer.get(layer, ())
+        if not any(r.xlo <= x <= r.xhi and r.ylo <= y <= r.yhi for r in rects):
+            return False
+    return True
+
+
+def write_guides(
+    routes: Mapping[str, Route],
+    graph: GridGraph,
+    target: Union[str, Path, TextIO],
+    patch_margin: int = 1,
+) -> None:
+    """Write guides for every net in the ICCAD-style text layout."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write(routes, graph, handle, patch_margin)
+    else:
+        _write(routes, graph, target, patch_margin)
+
+
+def _write(routes, graph, out: TextIO, patch_margin: int) -> None:
+    for name in sorted(routes):
+        guides = route_guides(routes[name], graph, patch_margin)
+        out.write(f"{name}\n(\n")
+        for guide in guides:
+            rect = guide.rect
+            out.write(
+                f"{rect.xlo} {rect.ylo} {rect.xhi} {rect.yhi} "
+                f"{graph.stack.name(guide.layer)}\n"
+            )
+        out.write(")\n")
+
+
+__all__ = ["GuideRect", "route_guides", "guides_cover_route", "write_guides"]

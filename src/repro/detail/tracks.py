@@ -1,0 +1,100 @@
+"""Per-panel track assignment.
+
+A *panel* is one row of a horizontal layer (or one column of a vertical
+layer): a bundle of parallel tracks.  Every global wire crossing the
+panel becomes an interval that must sit on one track for its whole
+span.  Greedy interval scheduling (sorted by left endpoint, first free
+track) is optimal for the number of tracks needed; when the panel is
+over-subscribed the extra intervals are forced onto the least-loaded
+track and the overlapped cells become metal shorts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+Interval = Tuple[int, int, str]  # [start, end) in G-cells, net name
+
+
+@dataclass
+class PanelAssignment:
+    """Result of assigning one panel's intervals to tracks.
+
+    ``tracks[t]`` lists the (start, end, net) intervals placed on track
+    ``t``; ``forced`` counts intervals that found no conflict-free
+    track and were overlaid onto an occupied one.
+    """
+
+    n_tracks: int
+    tracks: List[List[Interval]] = field(default_factory=list)
+    forced: int = 0
+
+    def assignment_of(self, net: str) -> List[int]:
+        """Return the track indices carrying intervals of ``net``."""
+        found = []
+        for index, track in enumerate(self.tracks):
+            if any(item[2] == net for item in track):
+                found.append(index)
+        return found
+
+
+def _capacity_tracks(capacity: np.ndarray, start: int, end: int) -> int:
+    """Tracks usable over [start, end): limited by the scarcest cell."""
+    if end <= start:
+        return int(np.floor(capacity.min())) if capacity.size else 0
+    window = capacity[start:end]
+    if window.size == 0:
+        return 0
+    return int(np.floor(window.min()))
+
+
+def assign_panel(
+    intervals: Sequence[Interval],
+    capacity: np.ndarray,
+    max_tracks: int = 64,
+) -> PanelAssignment:
+    """Assign intervals to tracks; overflow goes to the fullest-fit track.
+
+    Parameters
+    ----------
+    intervals:
+        ``(start, end, net)`` spans in G-cell edge coordinates
+        (``end`` exclusive, ``end > start``).
+    capacity:
+        Per-edge track capacity along the panel (the global grid's
+        capacity row/column) — blockages reduce it locally.
+    max_tracks:
+        Safety cap on panel width.
+
+    Greedy order is (start, end, net): deterministic and left-to-right.
+    """
+    panel_tracks = min(max_tracks, int(np.floor(capacity.max())) if capacity.size else 0)
+    panel_tracks = max(panel_tracks, 1)
+    assignment = PanelAssignment(panel_tracks, [[] for _ in range(panel_tracks)])
+    last_end = [0] * panel_tracks  # first free cell per track
+    load = [0] * panel_tracks
+
+    for start, end, net in sorted(intervals):
+        if end <= start:
+            raise ValueError(f"empty interval for net {net!r}")
+        usable = _capacity_tracks(capacity, start, end)
+        usable = max(1, min(usable, panel_tracks))
+        chosen = -1
+        for track in range(usable):
+            if last_end[track] <= start:
+                chosen = track
+                break
+        if chosen < 0:
+            # Over-subscribed: overlay onto the least-loaded usable track.
+            chosen = min(range(usable), key=lambda t: (load[t], t))
+            assignment.forced += 1
+        assignment.tracks[chosen].append((start, end, net))
+        last_end[chosen] = max(last_end[chosen], end)
+        load[chosen] += end - start
+    return assignment
+
+
+__all__ = ["Interval", "PanelAssignment", "assign_panel"]

@@ -1,0 +1,20 @@
+"""Metrics and reporting for routing solutions."""
+
+from repro.eval.metrics import RoutingMetrics, score
+from repro.eval.report import format_table
+from repro.eval.congestion import (
+    LayerUtilization,
+    congestion_map,
+    find_hotspots,
+    layer_utilization,
+)
+
+__all__ = [
+    "RoutingMetrics",
+    "score",
+    "format_table",
+    "LayerUtilization",
+    "layer_utilization",
+    "congestion_map",
+    "find_hotspots",
+]

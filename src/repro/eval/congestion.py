@@ -1,0 +1,129 @@
+"""Congestion analysis — global routing as a congestion predictor.
+
+The paper's introduction highlights that global routing "also functions
+as a congestion predictor for other phases in the design cycle, such as
+placement".  This module turns a routed grid into the reports a
+placement flow consumes: per-layer utilisation statistics, a 2-D
+congestion map (max demand/capacity over layers per G-cell), and
+hotspot extraction (connected overflowed regions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.grid.geometry import Rect
+from repro.grid.graph import GridGraph
+from repro.utils.unionfind import UnionFind
+
+
+@dataclass(frozen=True)
+class LayerUtilization:
+    """Demand/capacity statistics of one layer's wire edges."""
+
+    layer: int
+    mean_utilization: float
+    max_utilization: float
+    overflowed_edges: int
+    total_edges: int
+
+    @property
+    def overflow_rate(self) -> float:
+        """Fraction of edges over capacity."""
+        if self.total_edges == 0:
+            return 0.0
+        return self.overflowed_edges / self.total_edges
+
+
+def layer_utilization(graph: GridGraph) -> List[LayerUtilization]:
+    """Per-layer wire-edge utilisation (blocked edges excluded)."""
+    result = []
+    for layer in range(graph.n_layers):
+        capacity = graph.wire_capacity[layer]
+        demand = graph.wire_demand[layer]
+        usable = capacity > 0
+        total = int(usable.sum())
+        if total == 0:
+            result.append(LayerUtilization(layer, 0.0, 0.0, 0, 0))
+            continue
+        ratio = demand[usable] / capacity[usable]
+        overflowed = int(np.sum(demand[usable] > capacity[usable]))
+        result.append(
+            LayerUtilization(
+                layer,
+                float(ratio.mean()),
+                float(ratio.max()),
+                overflowed,
+                total,
+            )
+        )
+    return result
+
+
+def congestion_map(graph: GridGraph) -> np.ndarray:
+    """Return an ``(nx, ny)`` map of max demand/capacity per G-cell.
+
+    Each cell reports the worst ratio over the wire edges leaving it in
+    any layer; blocked (zero-capacity) edges count only when they carry
+    demand (then as fully congested plus their demand).
+    """
+    worst = np.zeros((graph.nx, graph.ny))
+    for layer in range(graph.n_layers):
+        capacity = graph.wire_capacity[layer]
+        demand = graph.wire_demand[layer]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(
+                capacity > 0, demand / np.maximum(capacity, 1e-12),
+                np.where(demand > 0, 1.0 + demand, 0.0),
+            )
+        if graph.stack.is_horizontal(layer):
+            worst[:-1, :] = np.maximum(worst[:-1, :], ratio)
+            worst[1:, :] = np.maximum(worst[1:, :], ratio)
+        else:
+            worst[:, :-1] = np.maximum(worst[:, :-1], ratio)
+            worst[:, 1:] = np.maximum(worst[:, 1:], ratio)
+    return worst
+
+
+def find_hotspots(graph: GridGraph, threshold: float = 1.0) -> List[Rect]:
+    """Return bounding boxes of connected regions over ``threshold``.
+
+    Regions are 4-connected components of the congestion map; returned
+    largest-first.  Placement flows use these to spread cells apart.
+    """
+    heat = congestion_map(graph)
+    hot = heat > threshold
+    coords = np.argwhere(hot)
+    if coords.size == 0:
+        return []
+    cells = {(int(x), int(y)) for x, y in coords}
+    uf = UnionFind(cells)
+    for x, y in cells:
+        for nbr in ((x + 1, y), (x, y + 1)):
+            if nbr in cells:
+                uf.union((x, y), nbr)
+    groups: Dict[object, List] = {}
+    for cell in cells:
+        groups.setdefault(uf.find(cell), []).append(cell)
+    rects = [
+        Rect(
+            min(c[0] for c in members),
+            min(c[1] for c in members),
+            max(c[0] for c in members),
+            max(c[1] for c in members),
+        )
+        for members in groups.values()
+    ]
+    rects.sort(key=lambda r: (-r.area, r.as_tuple()))
+    return rects
+
+
+__all__ = [
+    "LayerUtilization",
+    "layer_utilization",
+    "congestion_map",
+    "find_hotspots",
+]

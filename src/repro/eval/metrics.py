@@ -1,0 +1,67 @@
+"""Solution-quality metrics and the paper's score (Eq. 15).
+
+``score = alpha * W + beta * V + gamma * S`` with wirelength ``W``, via
+count ``V`` and shorts ``S``; the paper sets ``alpha=0.5``, ``beta=4``,
+``gamma=500``.  *Shorts* at the global-routing stage are capacity
+overflows — the contest metric Eq. 15 weights so heavily because every
+overflow becomes a physical short the detailed router must untangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.grid.graph import GridGraph
+from repro.grid.route import Route
+
+ALPHA = 0.5
+BETA = 4.0
+GAMMA = 500.0
+
+
+def score(
+    wirelength: float,
+    n_vias: float,
+    shorts: float,
+    alpha: float = ALPHA,
+    beta: float = BETA,
+    gamma: float = GAMMA,
+) -> float:
+    """Eq. 15: the weighted global-routing quality score."""
+    return alpha * wirelength + beta * n_vias + gamma * shorts
+
+
+@dataclass(frozen=True)
+class RoutingMetrics:
+    """Quality summary of a routed design."""
+
+    wirelength: int
+    n_vias: int
+    shorts: float
+    score: float
+
+    @staticmethod
+    def measure(routes: Mapping[str, Route], graph: GridGraph) -> "RoutingMetrics":
+        """Measure a set of committed routes against the grid state."""
+        wirelength = sum(route.wirelength for route in routes.values())
+        n_vias = sum(route.n_vias for route in routes.values())
+        shorts = graph.total_overflow()
+        return RoutingMetrics(
+            wirelength=wirelength,
+            n_vias=n_vias,
+            shorts=shorts,
+            score=score(wirelength, n_vias, shorts),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the metrics as a plain dict (for reports)."""
+        return {
+            "wirelength": float(self.wirelength),
+            "vias": float(self.n_vias),
+            "shorts": float(self.shorts),
+            "score": float(self.score),
+        }
+
+
+__all__ = ["ALPHA", "BETA", "GAMMA", "score", "RoutingMetrics"]

@@ -1,0 +1,22 @@
+"""Simulated CPU–GPU platform.
+
+The paper runs its pattern-routing kernels on an RTX 3090.  No GPU is
+available here, so this package provides the *platform model* the
+reproduction substitutes (DESIGN.md Sec. 2):
+
+* kernels are expressed exactly as the paper's computation-graph flows
+  (dense vector/matrix min-plus operations) and executed with NumPy —
+  the same data-parallel formulation, lock-step over all candidates;
+* :class:`~repro.gpu.device.Device` records every kernel launch
+  (grid/block geometry, element counts) and integrates an analytic
+  timing model so "GPU time" and the equivalent sequential time are
+  both available for the speedup tables;
+* :class:`~repro.gpu.zerocopy.ZeroCopyArena` accounts for host-device
+  transfers under the zero-copy technique the paper uses (Sec. IV-E).
+"""
+
+from repro.gpu.device import Device, DeviceSpec
+from repro.gpu.simt import KernelLaunch
+from repro.gpu.zerocopy import ZeroCopyArena
+
+__all__ = ["Device", "DeviceSpec", "KernelLaunch", "ZeroCopyArena"]

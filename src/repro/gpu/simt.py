@@ -1,0 +1,45 @@
+"""Kernel-launch records for the simulated SIMT device.
+
+Fig. 7 of the paper: the host launches one pattern-routing kernel per
+scheduler batch; each *block* handles one multi-pin net and the threads
+of a block evaluate all layer combinations of one two-pin net in
+lock-step.  A :class:`KernelLaunch` captures that geometry plus the
+amount of elementwise work, which the device turns into simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel invocation on the simulated device.
+
+    Attributes
+    ----------
+    name:
+        Kernel identity (e.g. ``"lshape"``, ``"zshape"``, ``"combine"``).
+    n_blocks:
+        Number of thread blocks — one per net/two-pin task in the batch.
+    threads_per_block:
+        Lock-step lanes used per block (e.g. ``L*L`` for the L-shape
+        kernel).
+    elements:
+        Total elementwise operations performed across the launch; this
+        is also the work a sequential scalar CPU implementation would
+        execute one element at a time.
+    """
+
+    name: str
+    n_blocks: int
+    threads_per_block: int
+    elements: int
+
+    @property
+    def total_threads(self) -> int:
+        """Number of logical threads requested by the launch."""
+        return self.n_blocks * self.threads_per_block
+
+
+__all__ = ["KernelLaunch"]

@@ -1,0 +1,27 @@
+"""Global-routing grid substrate.
+
+A global-routing problem lives on a 3-D grid graph of G-cells
+(Sec. II-A of the paper): each metal layer is a 2-D grid with a
+preferred routing direction, wire edges connect adjacent G-cells within
+a layer, and via edges connect vertically adjacent layers.
+"""
+
+from repro.grid.geometry import Point, Rect, manhattan
+from repro.grid.layers import Direction, LayerStack
+from repro.grid.graph import GridGraph
+from repro.grid.route import Route, ViaSegment, WireSegment
+from repro.grid.cost import CostModel, CostQuery
+
+__all__ = [
+    "Point",
+    "Rect",
+    "manhattan",
+    "Direction",
+    "LayerStack",
+    "GridGraph",
+    "Route",
+    "WireSegment",
+    "ViaSegment",
+    "CostModel",
+    "CostQuery",
+]

@@ -1,0 +1,223 @@
+"""CUGR-style edge cost model and O(1) segment-cost queries.
+
+The routers never walk edges one by one to price a candidate path.
+Instead :class:`CostQuery` materialises, per layer, the cost of every
+wire edge under the current demand, builds prefix sums along each
+layer's preferred direction, and answers *whole-segment* costs with two
+array lookups.  Batched variants gather the costs of thousands of
+candidate segments (across all layers) in a handful of NumPy
+operations — this is exactly what lets the paper's L/Z-shape dynamic
+programs run as dense vector/matrix min-plus flows on the simulated GPU.
+
+Cost scheme (after CUGR [3], Sec. III-D of the paper):
+
+* wire edge: ``unit_wire_cost + congestion(demand, capacity)``
+* via edge:  ``unit_via_cost + congestion(via_demand, via_capacity)``
+* ``congestion(d, c) = slope / (1 + exp(-steepness * (d + 0.5 - c)))
+  + overflow_weight * max(0, d + 1 - c)``
+
+The logistic term reproduces CUGR's probabilistic resource model near
+capacity; the linear term keeps every *additional* overflow expensive so
+the routers do not treat saturated edges as free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.grid.graph import GridGraph
+
+
+@dataclass
+class CostModel:
+    """Tunable parameters of the edge cost scheme."""
+
+    unit_wire_cost: float = 1.0
+    unit_via_cost: float = 2.0
+    congestion_slope: float = 16.0
+    congestion_steepness: float = 3.0
+    overflow_weight: float = 64.0
+
+    def congestion(self, demand: np.ndarray, capacity: np.ndarray) -> np.ndarray:
+        """Return the congestion cost component, elementwise."""
+        # Clip the exponent so saturated edges cannot overflow exp().
+        exponent = np.clip(
+            -self.congestion_steepness * (demand + 0.5 - capacity), -60.0, 60.0
+        )
+        logistic = self.congestion_slope / (1.0 + np.exp(exponent))
+        overflow = self.overflow_weight * np.maximum(demand + 1.0 - capacity, 0.0)
+        return logistic + overflow
+
+    def wire_edge_costs(self, graph: GridGraph, layer: int) -> np.ndarray:
+        """Return the cost array of every wire edge on ``layer``."""
+        demand = graph.wire_demand[layer]
+        capacity = graph.wire_capacity[layer]
+        return self.unit_wire_cost + self.congestion(demand, capacity)
+
+    def via_edge_costs(self, graph: GridGraph) -> np.ndarray:
+        """Return the ``(L-1, nx, ny)`` cost array of every via edge."""
+        return self.unit_via_cost + self.congestion(graph.via_demand, graph.via_capacity)
+
+
+class CostQuery:
+    """Prefix-sum accelerated segment/via-stack cost queries.
+
+    The query is a *snapshot*: costs reflect the demand at the last
+    :meth:`rebuild`.  The pattern stage rebuilds once per scheduler batch
+    (in-batch nets do not conflict, so frozen costs are exact); the maze
+    stage rebuilds per rerouted net.
+    """
+
+    def __init__(self, graph: GridGraph, model: CostModel) -> None:
+        self.graph = graph
+        self.model = model
+        self.n_layers = graph.n_layers
+        self._h_layers = np.array(
+            [l for l in range(self.n_layers) if graph.stack.is_horizontal(l)], dtype=int
+        )
+        self._v_layers = np.array(
+            [l for l in range(self.n_layers) if not graph.stack.is_horizontal(l)],
+            dtype=int,
+        )
+        self._h_index = {int(l): i for i, l in enumerate(self._h_layers)}
+        self._v_index = {int(l): i for i, l in enumerate(self._v_layers)}
+        self.wire_cost: List[np.ndarray] = []
+        self.via_cost = np.empty(0)
+        self._h_prefix = np.empty(0)  # (Lh, nx, ny), cumulative along x
+        self._v_prefix = np.empty(0)  # (Lv, nx, ny), cumulative along y
+        self._via_prefix = np.empty(0)  # (L, nx, ny), cumulative along layer
+        self.rebuild()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot construction
+    # ------------------------------------------------------------------ #
+    def rebuild(self) -> None:
+        """Recompute all edge costs and prefix sums from current demand."""
+        graph, model = self.graph, self.model
+        nx, ny, n_layers = graph.nx, graph.ny, self.n_layers
+        self.wire_cost = [
+            model.wire_edge_costs(graph, layer) for layer in range(n_layers)
+        ]
+        self.via_cost = model.via_edge_costs(graph)
+
+        h_prefix = np.zeros((len(self._h_layers), nx, ny))
+        for i, layer in enumerate(self._h_layers):
+            # wire_cost[layer] has shape (nx-1, ny); prefix over x.
+            np.cumsum(self.wire_cost[layer], axis=0, out=h_prefix[i, 1:, :])
+        self._h_prefix = h_prefix
+
+        v_prefix = np.zeros((len(self._v_layers), nx, ny))
+        for i, layer in enumerate(self._v_layers):
+            # wire_cost[layer] has shape (nx, ny-1); prefix over y.
+            np.cumsum(self.wire_cost[layer], axis=1, out=v_prefix[i, :, 1:])
+        self._v_prefix = v_prefix
+
+        via_prefix = np.zeros((n_layers, nx, ny))
+        np.cumsum(self.via_cost, axis=0, out=via_prefix[1:, :, :])
+        self._via_prefix = via_prefix
+
+    # ------------------------------------------------------------------ #
+    # Scalar queries
+    # ------------------------------------------------------------------ #
+    def wire_segment_cost(self, layer: int, x1: int, y1: int, x2: int, y2: int) -> float:
+        """Return the cost of a straight segment on ``layer``.
+
+        Returns ``inf`` when the segment orientation does not match the
+        layer's preferred direction; 0.0 for a degenerate (point) segment.
+        """
+        if x1 == x2 and y1 == y2:
+            return 0.0
+        horizontal = y1 == y2
+        if horizontal != self.graph.stack.is_horizontal(layer):
+            return float("inf")
+        if horizontal:
+            lo, hi = sorted((x1, x2))
+            idx = self._h_index[layer]
+            return float(self._h_prefix[idx, hi, y1] - self._h_prefix[idx, lo, y1])
+        lo, hi = sorted((y1, y2))
+        idx = self._v_index[layer]
+        return float(self._v_prefix[idx, x1, hi] - self._v_prefix[idx, x1, lo])
+
+    def via_stack_cost(self, x: int, y: int, lo: int, hi: int) -> float:
+        """Return the cost of a via stack spanning layers ``lo``..``hi``."""
+        if lo > hi:
+            lo, hi = hi, lo
+        return float(self._via_prefix[hi, x, y] - self._via_prefix[lo, x, y])
+
+    # ------------------------------------------------------------------ #
+    # Batched queries (the GPU gather primitives)
+    # ------------------------------------------------------------------ #
+    def segment_cost_layers(
+        self,
+        x1: np.ndarray,
+        y1: np.ndarray,
+        x2: np.ndarray,
+        y2: np.ndarray,
+    ) -> np.ndarray:
+        """Return a ``(B, L)`` matrix of per-layer costs for ``B`` segments.
+
+        Each segment must be axis-aligned (or degenerate).  Entries for
+        layers whose direction does not match the segment orientation are
+        ``inf``; degenerate segments cost 0 on every layer (no wire needed,
+        any layer may carry the point).
+        """
+        x1 = np.asarray(x1, dtype=int)
+        y1 = np.asarray(y1, dtype=int)
+        x2 = np.asarray(x2, dtype=int)
+        y2 = np.asarray(y2, dtype=int)
+        if not (x1.shape == y1.shape == x2.shape == y2.shape):
+            raise ValueError("segment coordinate arrays must share a shape")
+        diag = (x1 != x2) & (y1 != y2)
+        if np.any(diag):
+            raise ValueError("segments must be axis-aligned")
+        n = x1.shape[0]
+        out = np.full((n, self.n_layers), np.inf)
+
+        degenerate = (x1 == x2) & (y1 == y2)
+        out[degenerate, :] = 0.0
+
+        horizontal = (y1 == y2) & ~degenerate
+        if np.any(horizontal) and len(self._h_layers):
+            idx = np.nonzero(horizontal)[0]
+            lo = np.minimum(x1[idx], x2[idx])
+            hi = np.maximum(x1[idx], x2[idx])
+            vals = (
+                self._h_prefix[:, hi, y1[idx]] - self._h_prefix[:, lo, y1[idx]]
+            )  # (Lh, n_h)
+            out[np.ix_(idx, self._h_layers)] = vals.T
+
+        vertical = (x1 == x2) & ~degenerate
+        if np.any(vertical) and len(self._v_layers):
+            idx = np.nonzero(vertical)[0]
+            lo = np.minimum(y1[idx], y2[idx])
+            hi = np.maximum(y1[idx], y2[idx])
+            vals = (
+                self._v_prefix[:, x1[idx], hi] - self._v_prefix[:, x1[idx], lo]
+            )  # (Lv, n_v)
+            out[np.ix_(idx, self._v_layers)] = vals.T
+        return out
+
+    def via_prefix_at(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Return ``(B, L)`` cumulative via costs at each 2-D point.
+
+        ``result[b, l]`` is the cost of the via stack from layer 0 up to
+        layer ``l`` at point ``b``; interval stacks are differences of two
+        columns.  This is the primitive behind both the via matrices of
+        Eq. 6/12/13 and the via-interval DP that combines children costs.
+        """
+        x = np.asarray(x, dtype=int)
+        y = np.asarray(y, dtype=int)
+        return self._via_prefix[:, x, y].T  # (B, L)
+
+    def via_matrix(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Return ``(B, L, L)`` via-stack costs between every layer pair.
+
+        ``result[b, i, j] = cv(point_b, i, j)`` — the cost of the vias
+        needed to move from layer ``i`` to layer ``j`` at point ``b``
+        (0 when ``i == j``).
+        """
+        prefix = self.via_prefix_at(x, y)  # (B, L)
+        return np.abs(prefix[:, :, None] - prefix[:, None, :])

@@ -1,0 +1,74 @@
+"""Metal-layer stack with per-layer preferred routing directions.
+
+The ICCAD2019 designs have either nine or five metal layers (Table III);
+each layer routes in one preferred direction only (Fig. 1), alternating
+between horizontal and vertical up the stack.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+
+class Direction(enum.Enum):
+    """Preferred routing direction of a metal layer."""
+
+    HORIZONTAL = "H"
+    VERTICAL = "V"
+
+    @property
+    def other(self) -> "Direction":
+        """Return the perpendicular direction."""
+        if self is Direction.HORIZONTAL:
+            return Direction.VERTICAL
+        return Direction.HORIZONTAL
+
+
+class LayerStack:
+    """An ordered stack of routing layers with alternating directions.
+
+    Layer 0 is the lowest metal (M1).  By convention M1 is vertical in the
+    contest designs, so ``first_direction`` defaults to vertical; higher
+    layers alternate.
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        first_direction: Direction = Direction.VERTICAL,
+    ) -> None:
+        if n_layers < 2:
+            raise ValueError("a routable stack needs at least two layers")
+        self._directions: Tuple[Direction, ...] = tuple(
+            first_direction if i % 2 == 0 else first_direction.other
+            for i in range(n_layers)
+        )
+
+    @property
+    def n_layers(self) -> int:
+        """Number of metal layers ``L``."""
+        return len(self._directions)
+
+    def __len__(self) -> int:
+        return self.n_layers
+
+    def direction(self, layer: int) -> Direction:
+        """Return the preferred direction of ``layer`` (0-based)."""
+        return self._directions[layer]
+
+    def is_horizontal(self, layer: int) -> bool:
+        """Return True when ``layer`` routes horizontally."""
+        return self._directions[layer] is Direction.HORIZONTAL
+
+    def layers_in_direction(self, direction: Direction) -> List[int]:
+        """Return the indices of all layers routing in ``direction``."""
+        return [i for i, d in enumerate(self._directions) if d is direction]
+
+    def name(self, layer: int) -> str:
+        """Return a human-readable layer name, e.g. ``M3``."""
+        return f"M{layer + 1}"
+
+    def __repr__(self) -> str:
+        dirs = "".join(d.value for d in self._directions)
+        return f"LayerStack({self.n_layers}, pattern={dirs})"

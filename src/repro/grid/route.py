@@ -1,0 +1,188 @@
+"""Routed-net geometry: wire segments, via stacks, and whole-net routes.
+
+A :class:`Route` is the output of pattern routing or maze routing for one
+net: a set of straight wire segments plus via stacks.  Routes know how to
+commit/uncommit their demand on a :class:`~repro.grid.graph.GridGraph`
+(rip-up is ``uncommit``) and how to report wirelength and via counts for
+the quality score (Eq. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.grid.graph import GridGraph
+from repro.utils.unionfind import UnionFind
+
+GridNode = Tuple[int, int, int]  # (x, y, layer)
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """A straight wire on one layer between two G-cells (inclusive).
+
+    Normalised so that ``(x1, y1) <= (x2, y2)`` lexicographically; exactly
+    one of the coordinates may differ (axis-aligned), and zero-length
+    segments are rejected (a single G-cell needs no wire).
+    """
+
+    layer: int
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+
+    def __post_init__(self) -> None:
+        if self.x1 != self.x2 and self.y1 != self.y2:
+            raise ValueError(f"wire segment not axis-aligned: {self}")
+        if (self.x1, self.y1) == (self.x2, self.y2):
+            raise ValueError("zero-length wire segment")
+        if (self.x1, self.y1) > (self.x2, self.y2):
+            x1, y1, x2, y2 = self.x2, self.y2, self.x1, self.y1
+            object.__setattr__(self, "x1", x1)
+            object.__setattr__(self, "y1", y1)
+            object.__setattr__(self, "x2", x2)
+            object.__setattr__(self, "y2", y2)
+
+    @property
+    def is_horizontal(self) -> bool:
+        """Return True for an x-direction segment."""
+        return self.y1 == self.y2
+
+    @property
+    def length(self) -> int:
+        """Wirelength in G-cell pitches."""
+        return (self.x2 - self.x1) + (self.y2 - self.y1)
+
+    def nodes(self) -> Iterable[GridNode]:
+        """Yield every 3-D grid node the segment covers."""
+        if self.is_horizontal:
+            for x in range(self.x1, self.x2 + 1):
+                yield (x, self.y1, self.layer)
+        else:
+            for y in range(self.y1, self.y2 + 1):
+                yield (self.x1, y, self.layer)
+
+
+@dataclass(frozen=True)
+class ViaSegment:
+    """A via stack at ``(x, y)`` spanning layers ``lo``..``hi`` inclusive."""
+
+    x: int
+    y: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            lo, hi = self.hi, self.lo
+            object.__setattr__(self, "lo", lo)
+            object.__setattr__(self, "hi", hi)
+        if self.lo == self.hi:
+            raise ValueError("zero-height via stack")
+
+    @property
+    def n_vias(self) -> int:
+        """Number of single-layer via cuts in the stack."""
+        return self.hi - self.lo
+
+    def nodes(self) -> Iterable[GridNode]:
+        """Yield every 3-D grid node the stack covers."""
+        for layer in range(self.lo, self.hi + 1):
+            yield (self.x, self.y, layer)
+
+
+class Route:
+    """The routed geometry of one net."""
+
+    def __init__(
+        self,
+        wires: Sequence[WireSegment] = (),
+        vias: Sequence[ViaSegment] = (),
+    ) -> None:
+        self.wires: List[WireSegment] = list(wires)
+        self.vias: List[ViaSegment] = list(vias)
+
+    def add_wire(self, segment: WireSegment) -> None:
+        """Append a wire segment."""
+        self.wires.append(segment)
+
+    def add_via(self, segment: ViaSegment) -> None:
+        """Append a via stack."""
+        self.vias.append(segment)
+
+    def extend(self, other: "Route") -> None:
+        """Append all geometry of ``other``."""
+        self.wires.extend(other.wires)
+        self.vias.extend(other.vias)
+
+    @property
+    def wirelength(self) -> int:
+        """Total wirelength in G-cell pitches."""
+        return sum(w.length for w in self.wires)
+
+    @property
+    def n_vias(self) -> int:
+        """Total number of via cuts."""
+        return sum(v.n_vias for v in self.vias)
+
+    def is_empty(self) -> bool:
+        """Return True when the route has no geometry at all."""
+        return not self.wires and not self.vias
+
+    # ------------------------------------------------------------------ #
+    # Demand bookkeeping
+    # ------------------------------------------------------------------ #
+    def commit(self, graph: GridGraph, amount: float = 1.0) -> None:
+        """Add this route's demand to ``graph`` (negative = rip-up)."""
+        for w in self.wires:
+            graph.add_wire_demand(w.layer, w.x1, w.y1, w.x2, w.y2, amount)
+        for v in self.vias:
+            graph.add_via_demand(v.x, v.y, v.lo, v.hi, amount)
+
+    def uncommit(self, graph: GridGraph, amount: float = 1.0) -> None:
+        """Remove this route's demand from ``graph`` (rip-up)."""
+        self.commit(graph, -amount)
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+    def nodes(self) -> Set[GridNode]:
+        """Return the set of all 3-D grid nodes the route covers."""
+        covered: Set[GridNode] = set()
+        for w in self.wires:
+            covered.update(w.nodes())
+        for v in self.vias:
+            covered.update(v.nodes())
+        return covered
+
+    def connects(self, pins: Sequence[GridNode]) -> bool:
+        """Return True when the route forms one connected component
+        containing every pin.
+
+        This is the correctness invariant every router must satisfy; the
+        property-based tests exercise it on random nets.  A net whose
+        distinct pins collapse to a single grid node is trivially
+        connected (no geometry required).
+        """
+        distinct = set(pins)
+        if len(distinct) <= 1:
+            return True
+        covered = self.nodes()
+        for pin in distinct:
+            if pin not in covered:
+                return False
+        uf = UnionFind(covered)
+        for x, y, layer in covered:
+            for nbr in ((x + 1, y, layer), (x, y + 1, layer), (x, y, layer + 1)):
+                if nbr in covered:
+                    uf.union((x, y, layer), nbr)
+        root = uf.find(pins[0])
+        return all(uf.find(pin) == root for pin in pins[1:])
+
+    def __repr__(self) -> str:
+        return (
+            f"Route(wl={self.wirelength}, vias={self.n_vias}, "
+            f"{len(self.wires)} wires, {len(self.vias)} stacks)"
+        )

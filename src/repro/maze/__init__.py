@@ -1,0 +1,11 @@
+"""Rip-up-and-reroute substrate: 3-D maze routing (Sec. III-G).
+
+Nets that the pattern stage leaves with violations are ripped up and
+rerouted with a full 3-D shortest-path search on the grid graph,
+iterating until routing closure (the paper runs three iterations).
+"""
+
+from repro.maze.router import MazeRouter
+from repro.maze.ripup import RipupReroute, find_violating_nets
+
+__all__ = ["MazeRouter", "RipupReroute", "find_violating_nets"]

@@ -1,0 +1,125 @@
+"""Rip-up-and-reroute iterations (Sec. III-G).
+
+After the pattern stage, only nets whose routes touch an overflowed
+edge are rerouted.  Each iteration:
+
+1. find the violating nets against current demand;
+2. order them (sorting scheme of Table IV) and schedule them with the
+   task graph scheduler — every net is one routing task;
+3. in schedule order: rip up the net, maze-route it, commit.
+
+Per-task wall-clock durations are recorded so the scheduler benchmarks
+can compute the parallel makespans (task-graph vs batch-barrier) the
+paper compares in Table VIII.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.grid.cost import CostModel
+from repro.grid.graph import GridGraph
+from repro.grid.route import Route
+from repro.maze.router import MazeRouter, MazeRoutingError
+from repro.netlist.net import Net
+
+
+def route_has_violation(route: Route, graph: GridGraph) -> bool:
+    """Return True when any edge used by ``route`` is overflowed."""
+    for wire in route.wires:
+        demand = graph.wire_demand[wire.layer]
+        capacity = graph.wire_capacity[wire.layer]
+        if wire.is_horizontal:
+            segment = slice(wire.x1, wire.x2)
+            over = demand[segment, wire.y1] > capacity[segment, wire.y1]
+        else:
+            segment = slice(wire.y1, wire.y2)
+            over = demand[wire.x1, segment] > capacity[wire.x1, segment]
+        if bool(np.any(over)):
+            return True
+    for via in route.vias:
+        segment = slice(via.lo, via.hi)
+        over = (
+            graph.via_demand[segment, via.x, via.y]
+            > graph.via_capacity[segment, via.x, via.y]
+        )
+        if bool(np.any(over)):
+            return True
+    return False
+
+
+def find_violating_nets(
+    routes: Dict[str, Route], graph: GridGraph
+) -> List[str]:
+    """Return names of nets whose current route crosses an overflow."""
+    return [name for name, route in routes.items() if route_has_violation(route, graph)]
+
+
+@dataclass
+class RipupStats:
+    """Bookkeeping of one rip-up-and-reroute iteration."""
+
+    n_ripped: int = 0
+    n_failed: int = 0
+    task_durations: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sequential_time(self) -> float:
+        """Sum of per-task reroute times (the 1-worker makespan)."""
+        return sum(self.task_durations.values())
+
+
+class RipupReroute:
+    """Executes rip-up-and-reroute iterations over a routed design."""
+
+    def __init__(
+        self,
+        graph: GridGraph,
+        netlist_by_name: Dict[str, Net],
+        cost_model: Optional[CostModel] = None,
+        margin: int = 6,
+    ) -> None:
+        self.graph = graph
+        self.nets = netlist_by_name
+        self.maze = MazeRouter(graph, cost_model or CostModel(), margin=margin)
+
+    def reroute(
+        self,
+        routes: Dict[str, Route],
+        ordered_names: List[str],
+    ) -> RipupStats:
+        """Reroute ``ordered_names`` in order, updating ``routes`` in place.
+
+        A net whose maze search fails keeps its old route (and its
+        violations) — counted in the stats rather than crashing the
+        flow, as a production router must.
+        """
+        stats = RipupStats(n_ripped=len(ordered_names))
+        for name in ordered_names:
+            net = self.nets[name]
+            old_route = routes[name]
+            old_route.uncommit(self.graph)
+            start = time.perf_counter()
+            try:
+                new_route = self.maze.route_net(net)
+            except MazeRoutingError:
+                old_route.commit(self.graph)
+                stats.n_failed += 1
+                stats.task_durations[name] = time.perf_counter() - start
+                continue
+            new_route.commit(self.graph)
+            routes[name] = new_route
+            stats.task_durations[name] = time.perf_counter() - start
+        return stats
+
+
+__all__ = [
+    "route_has_violation",
+    "find_violating_nets",
+    "RipupStats",
+    "RipupReroute",
+]

@@ -1,0 +1,241 @@
+"""3-D maze routing: multi-source Dijkstra on the grid graph.
+
+The maze router is the quality workhorse of the rip-up-and-reroute
+iterations: unlike pattern routing it may take any monotone or
+non-monotone path, so it can escape congestion the patterns cannot.
+Search is restricted to the net's bounding box plus a margin (standard
+practice; keeps the search region proportional to the net).
+
+A multi-pin net is routed by growing a connected component: start from
+one pin, run Dijkstra from every node of the component to the nearest
+unconnected pin, splice the found path in, repeat.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.cost import CostModel, CostQuery
+from repro.grid.graph import GridGraph
+from repro.grid.route import Route
+from repro.netlist.net import Net
+from repro.pattern.commit import normalize_route
+from repro.grid.route import ViaSegment, WireSegment
+
+GridNode = Tuple[int, int, int]
+
+
+class MazeRoutingError(RuntimeError):
+    """Raised when no path exists inside the search region."""
+
+
+class MazeRouter:
+    """Dijkstra-based 3-D router over a cost snapshot."""
+
+    def __init__(
+        self,
+        graph: GridGraph,
+        cost_model: Optional[CostModel] = None,
+        margin: int = 6,
+        query: Optional[CostQuery] = None,
+    ) -> None:
+        self.graph = graph
+        self.cost_model = cost_model or CostModel()
+        self.query = query or CostQuery(graph, self.cost_model)
+        self.margin = margin
+
+    def route_net(self, net: Net, rebuild: bool = True) -> Route:
+        """Route ``net`` from scratch against current demand.
+
+        The caller must have ripped up any previous route of the net
+        (its demand must not be in the graph).  With ``rebuild=True``
+        the cost snapshot is refreshed first so the search sees the
+        demand left by previously rerouted nets.
+        """
+        if rebuild:
+            self.query.rebuild()
+        pins = sorted({pin.as_node() for pin in net.pins})
+        if len(pins) == 1:
+            return Route()
+        region = self._region(net)
+        # Costs are frozen per net: build the region move tables once and
+        # share them across the per-pin searches.
+        tables = self._move_tables(region)
+        component = {pins[0]}
+        remaining = set(pins[1:])
+        route = Route()
+        while remaining:
+            path, reached = self._dijkstra(component, remaining, region, tables)
+            self._splice(route, path)
+            component.update(path)
+            remaining.discard(reached)
+        return normalize_route(route)
+
+    # ------------------------------------------------------------------ #
+    # Search internals
+    # ------------------------------------------------------------------ #
+    def _region(self, net: Net) -> Tuple[int, int, int, int]:
+        """Return the clipped (x0, y0, x1, y1) search window."""
+        box = net.bbox.expanded(self.margin).clipped(self.graph.nx, self.graph.ny)
+        return box.xlo, box.ylo, box.xhi, box.yhi
+
+    def _move_tables(
+        self, region: Tuple[int, int, int, int]
+    ) -> Tuple[List[Tuple[int, List[float]]], int, int]:
+        """Precompute per-node move costs for a region as Python lists.
+
+        Returns ``(moves, width, height)`` where ``moves`` pairs an
+        index offset with a flat cost list (``inf`` marks a forbidden
+        move).  The hot Dijkstra loop then runs on plain lists — scalar
+        indexing into NumPy arrays is an order of magnitude slower.
+        """
+        x0, y0, x1, y1 = region
+        width = x1 - x0 + 1
+        height = y1 - y0 + 1
+        n_layers = self.graph.n_layers
+        plane = width * height
+        stack = self.graph.stack
+
+        pos_x = np.full((n_layers, width, height), np.inf)
+        neg_x = np.full((n_layers, width, height), np.inf)
+        pos_y = np.full((n_layers, width, height), np.inf)
+        neg_y = np.full((n_layers, width, height), np.inf)
+        for layer in range(n_layers):
+            cost = self.query.wire_cost[layer]
+            if stack.is_horizontal(layer):
+                # Edge (x, y)-(x+1, y) has cost[x, y].
+                sub = cost[x0:x1, y0 : y1 + 1]
+                pos_x[layer, : width - 1, :] = sub
+                neg_x[layer, 1:, :] = sub
+            else:
+                sub = cost[x0 : x1 + 1, y0:y1]
+                pos_y[layer, :, : height - 1] = sub
+                neg_y[layer, :, 1:] = sub
+        via = self.query.via_cost[:, x0 : x1 + 1, y0 : y1 + 1]
+        pos_z = np.full((n_layers, width, height), np.inf)
+        neg_z = np.full((n_layers, width, height), np.inf)
+        pos_z[: n_layers - 1] = via
+        neg_z[1:] = via
+
+        moves = [
+            (height, pos_x.reshape(-1).tolist()),
+            (-height, neg_x.reshape(-1).tolist()),
+            (1, pos_y.reshape(-1).tolist()),
+            (-1, neg_y.reshape(-1).tolist()),
+            (plane, pos_z.reshape(-1).tolist()),
+            (-plane, neg_z.reshape(-1).tolist()),
+        ]
+        return moves, width, height
+
+    def _dijkstra(
+        self,
+        sources: set,
+        targets: set,
+        region: Tuple[int, int, int, int],
+        tables: Optional[Tuple[List[Tuple[int, List[float]]], int, int]] = None,
+    ) -> Tuple[List[GridNode], GridNode]:
+        """Shortest path from any source node to any target node."""
+        x0, y0, x1, y1 = region
+        moves, width, height = tables if tables is not None else self._move_tables(region)
+        n_layers = self.graph.n_layers
+        size = n_layers * width * height
+
+        def encode(node: GridNode) -> int:
+            x, y, layer = node
+            return (layer * width + (x - x0)) * height + (y - y0)
+
+        def decode(idx: int) -> GridNode:
+            y = idx % height
+            rest = idx // height
+            x = rest % width
+            layer = rest // width
+            return (x + x0, y + y0, layer)
+
+        inf = float("inf")
+        dist: List[float] = [inf] * size
+        parent: List[int] = [-1] * size
+        done = bytearray(size)
+        heap: List[Tuple[float, int]] = []
+        for node in sources:
+            x, y, layer = node
+            if not (x0 <= x <= x1 and y0 <= y <= y1):
+                continue
+            idx = encode(node)
+            dist[idx] = 0.0
+            heap.append((0.0, idx))
+        heapq.heapify(heap)
+        target_idx = {encode(t) for t in targets if x0 <= t[0] <= x1 and y0 <= t[1] <= y1}
+        if not target_idx or not heap:
+            raise MazeRoutingError("pins outside search region")
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        reached = -1
+        while heap:
+            d, idx = heappop(heap)
+            if done[idx]:
+                continue
+            done[idx] = 1
+            if idx in target_idx:
+                reached = idx
+                break
+            for offset, costs in moves:
+                cost = costs[idx]
+                if cost != inf:
+                    nxt = idx + offset
+                    nd = d + cost
+                    if nd < dist[nxt]:
+                        dist[nxt] = nd
+                        parent[nxt] = idx
+                        heappush(heap, (nd, nxt))
+        if reached < 0:
+            raise MazeRoutingError("maze search exhausted without reaching a pin")
+
+        path: List[GridNode] = []
+        idx = reached
+        while idx >= 0:
+            path.append(decode(idx))
+            idx = parent[idx]
+        path.reverse()
+        return path, decode(reached)
+
+    @staticmethod
+    def _splice(route: Route, path: Sequence[GridNode]) -> None:
+        """Convert a node path into wire/via segments appended to ``route``."""
+        if len(path) < 2:
+            return
+        run_start = path[0]
+        prev = path[0]
+        prev_kind = None  # 'H', 'V', or 'Z' (via)
+
+        def flush(last: GridNode) -> None:
+            if prev_kind is None or run_start == last:
+                return
+            if prev_kind == "Z":
+                route.add_via(ViaSegment(last[0], last[1], run_start[2], last[2]))
+            else:
+                route.add_wire(
+                    WireSegment(last[2], run_start[0], run_start[1], last[0], last[1])
+                )
+
+        for node in path[1:]:
+            if node[2] != prev[2]:
+                kind = "Z"
+            elif node[1] == prev[1]:
+                kind = "H"
+            else:
+                kind = "V"
+            if kind != prev_kind and prev_kind is not None:
+                flush(prev)
+                run_start = prev
+            elif prev_kind is None:
+                run_start = prev
+            prev_kind = kind
+            prev = node
+        flush(prev)
+
+
+__all__ = ["MazeRouter", "MazeRoutingError"]

@@ -1,0 +1,30 @@
+"""Design substrate: nets, pins, designs, synthetic benchmark generation.
+
+The paper evaluates on the ICCAD2019 contest designs (Table III).  Those
+LEF/DEF benchmarks are proprietary-format industrial designs, so this
+package provides (a) the in-memory model every router consumes, (b) a
+deterministic synthetic generator that produces designs with the same
+structural features (multi-pin nets, locality, congestion hotspots,
+layer-limited pins), and (c) a registry of twelve scaled stand-ins with
+the contest names.
+"""
+
+from repro.netlist.net import Net, Netlist, Pin
+from repro.netlist.design import Design
+from repro.netlist.generator import DesignSpec, generate_design
+from repro.netlist.benchmarks import BENCHMARKS, load_benchmark, benchmark_names
+from repro.netlist.io import read_design, write_design
+
+__all__ = [
+    "Pin",
+    "Net",
+    "Netlist",
+    "Design",
+    "DesignSpec",
+    "generate_design",
+    "BENCHMARKS",
+    "load_benchmark",
+    "benchmark_names",
+    "read_design",
+    "write_design",
+]

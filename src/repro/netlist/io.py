@@ -1,0 +1,150 @@
+"""A small line-oriented text format for routing designs.
+
+The contest LEF/DEF format is out of scope (DESIGN.md Sec. 6); this
+format captures everything the global router needs and lets examples
+and users persist or hand-craft designs::
+
+    design demo
+    grid 16 16 5 V
+    capacity wire 0 0
+    capacity wire 1 8
+    capacity via 24
+    net n0
+      pin 2 3 0
+      pin 10 11 1
+    end
+
+Unlisted ``capacity wire`` layers keep the default (8 tracks).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from repro.grid.graph import GridGraph
+from repro.grid.layers import Direction, LayerStack
+from repro.netlist.design import Design
+from repro.netlist.net import Net, Netlist, Pin
+
+_DEFAULT_WIRE_CAPACITY = 8.0
+_DEFAULT_VIA_CAPACITY = 24.0
+
+
+class DesignFormatError(ValueError):
+    """Raised on malformed design files."""
+
+
+def write_design(design: Design, target: Union[str, Path, TextIO]) -> None:
+    """Serialise ``design`` to the text format.
+
+    Per-edge capacity variations (blockages) are flattened to the layer
+    mean — the format stores uniform per-layer capacities.
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write(design, handle)
+    else:
+        _write(design, target)
+
+
+def _write(design: Design, out: TextIO) -> None:
+    graph = design.graph
+    first_dir = graph.stack.direction(0).value
+    out.write(f"design {design.name}\n")
+    out.write(f"grid {graph.nx} {graph.ny} {graph.n_layers} {first_dir}\n")
+    for layer in range(graph.n_layers):
+        cap = float(graph.wire_capacity[layer].mean())
+        out.write(f"capacity wire {layer} {cap:g}\n")
+    out.write(f"capacity via {float(graph.via_capacity.mean()):g}\n")
+    for net in design.netlist:
+        out.write(f"net {net.name}\n")
+        for pin in net.pins:
+            out.write(f"  pin {pin.x} {pin.y} {pin.layer}\n")
+        out.write("end\n")
+
+
+def read_design(source: Union[str, Path, TextIO]) -> Design:
+    """Parse a design from the text format."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def reads_design(text: str) -> Design:
+    """Parse a design from a string."""
+    return _read(io.StringIO(text))
+
+
+def _read(handle: TextIO) -> Design:
+    name = ""
+    graph: GridGraph = None  # type: ignore[assignment]
+    nets: List[Net] = []
+    current_net_name = ""
+    current_pins: List[Pin] = []
+    in_net = False
+
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        try:
+            if keyword == "design":
+                name = tokens[1]
+            elif keyword == "grid":
+                nx, ny, n_layers = int(tokens[1]), int(tokens[2]), int(tokens[3])
+                first = Direction(tokens[4]) if len(tokens) > 4 else Direction.VERTICAL
+                graph = GridGraph(
+                    nx,
+                    ny,
+                    LayerStack(n_layers, first),
+                    wire_capacity=_DEFAULT_WIRE_CAPACITY,
+                    via_capacity=_DEFAULT_VIA_CAPACITY,
+                )
+            elif keyword == "capacity":
+                if graph is None:
+                    raise DesignFormatError("capacity before grid")
+                if tokens[1] == "wire":
+                    graph.wire_capacity[int(tokens[2])][:] = float(tokens[3])
+                elif tokens[1] == "via":
+                    graph.via_capacity[:] = float(tokens[2])
+                else:
+                    raise DesignFormatError(f"unknown capacity kind {tokens[1]!r}")
+            elif keyword == "net":
+                if in_net:
+                    raise DesignFormatError("nested net")
+                in_net = True
+                current_net_name = tokens[1]
+                current_pins = []
+            elif keyword == "pin":
+                if not in_net:
+                    raise DesignFormatError("pin outside net")
+                current_pins.append(
+                    Pin(int(tokens[1]), int(tokens[2]), int(tokens[3]))
+                )
+            elif keyword == "end":
+                if not in_net:
+                    raise DesignFormatError("end outside net")
+                nets.append(Net(current_net_name, current_pins))
+                in_net = False
+            else:
+                raise DesignFormatError(f"unknown keyword {keyword!r}")
+        except (IndexError, ValueError) as exc:
+            if isinstance(exc, DesignFormatError):
+                raise DesignFormatError(f"line {lineno}: {exc}") from None
+            raise DesignFormatError(f"line {lineno}: malformed line {line!r}") from exc
+
+    if in_net:
+        raise DesignFormatError("unterminated net at end of file")
+    if graph is None:
+        raise DesignFormatError("missing grid line")
+    design = Design(name or "unnamed", graph, Netlist(nets))
+    design.validate()
+    return design
+
+
+__all__ = ["read_design", "reads_design", "write_design", "DesignFormatError"]

@@ -1,0 +1,216 @@
+"""Batched pattern routing over scheduler batches (Sec. III-C, Fig. 7).
+
+One :meth:`BatchPatternRouter.route_batch` call is one host-side kernel
+invocation sequence for a conflict-free batch of multi-pin nets:
+
+1. build/optimise Steiner trees and bottom-up two-pin orders (the
+   pattern-routing *planning* of Fig. 5);
+2. freeze edge costs (a :class:`~repro.grid.cost.CostQuery` snapshot —
+   exact, because in-batch nets have disjoint bounding boxes);
+3. evaluate the two-pin nets wave by wave: per wave one ``combine``
+   kernel (Eq. 2) and one L-shape and/or Z-shape kernel (Eq. 7/14);
+4. reconstruct routes, commit their demand.
+
+The simulated :class:`~repro.gpu.device.Device` records every launch so
+benchmarks can report kernel-level speedups; the
+:class:`~repro.gpu.zerocopy.ZeroCopyArena` accounts for the cost/result
+traffic the zero-copy technique streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.grid.cost import CostModel, CostQuery
+from repro.grid.graph import GridGraph
+from repro.grid.route import Route
+from repro.gpu.device import Device
+from repro.gpu.zerocopy import ZeroCopyArena
+from repro.netlist.net import Net
+from repro.pattern.commit import reconstruct_route
+from repro.pattern.kernels import combine_children
+from repro.pattern.lshape import route_lshape_wave
+from repro.pattern.twopin import (
+    ModeSelector,
+    NetRoutingJob,
+    PatternMode,
+    build_waves,
+)
+from repro.pattern.zshape import route_zshape_wave
+from repro.tree.edge_shifting import shift_edges
+from repro.tree.ordering import order_tree
+from repro.tree.steiner import build_steiner_tree
+
+
+class BatchPatternRouter:
+    """Routes conflict-free batches of nets with the GPU-friendly DP."""
+
+    def __init__(
+        self,
+        graph: GridGraph,
+        cost_model: Optional[CostModel] = None,
+        device: Optional[Device] = None,
+        arena: Optional[ZeroCopyArena] = None,
+        edge_shift: bool = True,
+        max_chunk_elements: int = 150_000,
+    ) -> None:
+        self.graph = graph
+        self.cost_model = cost_model or CostModel()
+        self.query = CostQuery(graph, self.cost_model)
+        self.device = device or Device()
+        self.arena = arena or ZeroCopyArena()
+        self.edge_shift = edge_shift
+        self.max_chunk_elements = max_chunk_elements
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def make_job(self, net: Net) -> NetRoutingJob:
+        """Plan one net: Steiner tree, edge shifting, intranet order."""
+        tree = build_steiner_tree(net)
+        if self.edge_shift:
+            shift_edges(tree, self.graph)
+        return NetRoutingJob(net, tree, order_tree(tree))
+
+    def route_batch(
+        self, nets: List[Net], mode_fn: ModeSelector
+    ) -> Dict[str, Route]:
+        """Route a conflict-free batch; commit demand; return routes."""
+        self.query.rebuild()
+        self._account_cost_upload()
+        jobs = [self.make_job(net) for net in nets]
+        self.route_jobs(jobs, mode_fn)
+        routes: Dict[str, Route] = {}
+        for job in jobs:
+            route = reconstruct_route(job)
+            route.commit(self.graph)
+            routes[job.net.name] = route
+        return routes
+
+    def route_jobs(self, jobs: List[NetRoutingJob], mode_fn: ModeSelector) -> None:
+        """Run the wave-by-wave DP, filling every job's state in place."""
+        n_layers = self.graph.n_layers
+        waves = build_waves(jobs, mode_fn)
+        for wave in waves:
+            combine = self._combine_phase(
+                jobs, [(t.job_index, t.child) for t in wave]
+            )
+            l_rows = [i for i, t in enumerate(wave) if t.mode is PatternMode.LSHAPE]
+            z_rows = [i for i, t in enumerate(wave) if t.mode is not PatternMode.LSHAPE]
+            if l_rows:
+                tasks = [wave[i] for i in l_rows]
+                values, backtracks, elements = route_lshape_wave(
+                    tasks, combine[l_rows], self.query
+                )
+                self.device.launch("lshape", len(tasks), n_layers * n_layers, elements)
+                self._store_edge_results(jobs, tasks, values, backtracks)
+            if z_rows:
+                tasks = [wave[i] for i in z_rows]
+                values, backtracks, elements = route_zshape_wave(
+                    tasks, combine[z_rows], self.query, self.max_chunk_elements
+                )
+                self.device.launch(
+                    "zshape", len(tasks), n_layers * n_layers * n_layers, elements
+                )
+                self._store_edge_results(jobs, tasks, values, backtracks)
+        self._root_phase(jobs)
+
+    # ------------------------------------------------------------------ #
+    # Phases
+    # ------------------------------------------------------------------ #
+    def _combine_phase(
+        self, jobs: List[NetRoutingJob], nodes: List[Tuple[int, int]]
+    ) -> np.ndarray:
+        """Combine children costs (Eq. 2) at a wave of tree nodes.
+
+        Stores each node's via-interval argmins in its job and returns
+        the ``(B, L)`` combine matrix aligned with ``nodes``.
+        """
+        n_layers = self.graph.n_layers
+        if not nodes:
+            return np.zeros((0, n_layers))
+        child_rows: List[np.ndarray] = []
+        child_node_index: List[int] = []
+        xs: List[int] = []
+        ys: List[int] = []
+        pin_lo: List[int] = []
+        pin_hi: List[int] = []
+        for b, (job_index, node) in enumerate(nodes):
+            job = jobs[job_index]
+            for child in job.ordered.children(node):
+                child_rows.append(job.node_vectors[child])
+                child_node_index.append(b)
+            point = job.tree.nodes[node].point
+            xs.append(point.x)
+            ys.append(point.y)
+            lo, hi = job.pin_range(node, n_layers)
+            pin_lo.append(lo)
+            pin_hi.append(hi)
+
+        child_costs = (
+            np.vstack(child_rows) if child_rows else np.zeros((0, n_layers))
+        )
+        via_prefix = self.query.via_prefix_at(np.array(xs), np.array(ys))
+        combine, lo_choice, hi_choice = combine_children(
+            child_costs,
+            np.array(child_node_index, dtype=int),
+            len(nodes),
+            via_prefix,
+            np.array(pin_lo, dtype=int),
+            np.array(pin_hi, dtype=int),
+        )
+        self.device.launch(
+            "combine", len(nodes), n_layers * n_layers, len(nodes) * n_layers**4
+        )
+        for b, (job_index, node) in enumerate(nodes):
+            jobs[job_index].combine_store[node] = (lo_choice[b], hi_choice[b])
+        return combine
+
+    def _store_edge_results(self, jobs, tasks, values, backtracks) -> None:
+        for i, task in enumerate(tasks):
+            job = jobs[task.job_index]
+            job.node_vectors[task.child] = values[i]
+            job.edge_store[task.child] = backtracks[i]
+
+    def _root_phase(self, jobs: List[NetRoutingJob]) -> None:
+        """Close each net at its root (Eq. 4): pick the best via stack."""
+        n_layers = self.graph.n_layers
+        rooted = [
+            (i, job.ordered.root)
+            for i, job in enumerate(jobs)
+            if job.ordered.n_two_pin_nets > 0
+        ]
+        if rooted:
+            combine = self._combine_phase(jobs, rooted)
+            for b, (job_index, root) in enumerate(rooted):
+                job = jobs[job_index]
+                best_ls = int(np.argmin(combine[b]))
+                lo_choice, hi_choice = job.combine_store[root]
+                job.root_interval = (int(lo_choice[best_ls]), int(hi_choice[best_ls]))
+                job.total_cost = float(combine[b, best_ls])
+        for job in jobs:
+            if job.ordered.n_two_pin_nets == 0:
+                lo, hi = job.pin_range(job.ordered.root, n_layers)
+                if hi < 0:  # no pins recorded — nothing to connect
+                    lo, hi = 0, 0
+                job.root_interval = (min(lo, hi), max(lo, hi))
+                point = job.tree.nodes[job.ordered.root].point
+                job.total_cost = self.query.via_stack_cost(
+                    point.x, point.y, job.root_interval[0], job.root_interval[1]
+                )
+
+    # ------------------------------------------------------------------ #
+    # Transfer accounting
+    # ------------------------------------------------------------------ #
+    def _account_cost_upload(self) -> None:
+        """Record the cost-snapshot upload the device reads per batch."""
+        n_bytes = 0
+        for layer in range(self.graph.n_layers):
+            n_bytes += self.query.wire_cost[layer].nbytes
+        n_bytes += self.query.via_cost.nbytes
+        self.arena.send(n_bytes)
+
+
+__all__ = ["BatchPatternRouter"]

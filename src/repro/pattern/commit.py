@@ -1,0 +1,166 @@
+"""Path reconstruction: turn DP argmin state back into routed geometry.
+
+After the kernels fill a :class:`~repro.pattern.twopin.NetRoutingJob`
+with cost vectors and argmins, this module walks the tree top-down from
+the root, choosing each child's arrival layer inside the parent's via
+stack and expanding every two-pin net's winning pattern into wire and
+via segments.  The raw geometry is then *normalised*: overlapping
+segments from sibling paths are fused at unit-edge granularity, so a
+net never double-counts demand on a shared edge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.grid.geometry import Point
+from repro.grid.route import Route, ViaSegment, WireSegment
+from repro.pattern.twopin import NetRoutingJob, PatternMode
+
+
+def best_layer_in_interval(vector: np.ndarray, lo: int, hi: int) -> int:
+    """Return the argmin layer of ``vector`` restricted to ``[lo, hi]``."""
+    if lo > hi:
+        raise ValueError("empty layer interval")
+    return lo + int(np.argmin(vector[lo : hi + 1]))
+
+
+def _emit_wire(route: Route, a: Point, b: Point, layer: int) -> None:
+    if a == b:
+        return
+    route.add_wire(WireSegment(layer, a.x, a.y, b.x, b.y))
+
+
+def _emit_via(route: Route, p: Point, lo: int, hi: int) -> None:
+    if lo > hi:
+        lo, hi = hi, lo
+    if lo == hi:
+        return
+    route.add_via(ViaSegment(p.x, p.y, lo, hi))
+
+
+def reconstruct_route(job: NetRoutingJob) -> Route:
+    """Rebuild the routed geometry of a completed job (normalised)."""
+    route = Route()
+    tree, ordered = job.tree, job.ordered
+
+    if ordered.n_two_pin_nets == 0:
+        # Single-G-cell net: a via stack covering the pin layers.
+        lo, hi = job.root_interval
+        _emit_via(route, tree.nodes[ordered.root].point, lo, hi)
+        return normalize_route(route)
+
+    lo, hi = job.root_interval
+    _emit_via(route, tree.nodes[ordered.root].point, lo, hi)
+    pending: List[Tuple[int, int]] = []
+    for child in ordered.children(ordered.root):
+        pending.append((child, best_layer_in_interval(job.node_vectors[child], lo, hi)))
+
+    while pending:
+        node, arrival = pending.pop()
+        state = job.edge_store[node]
+        src = tree.nodes[node].point
+        dst = tree.nodes[ordered.parent[node]].point
+
+        if state.mode is PatternMode.LSHAPE:
+            source_layer = int(state.arg_ls[arrival])
+            bend_idx = int(state.bend_choice[arrival])
+            bend = Point(dst.x, src.y) if bend_idx == 0 else Point(src.x, dst.y)
+            _emit_wire(route, src, bend, source_layer)
+            _emit_via(route, bend, source_layer, arrival)
+            _emit_wire(route, bend, dst, arrival)
+        else:
+            cand = int(state.cand[arrival])
+            mid_layer = int(state.arg_lb[arrival])
+            source_layer = int(state.arg_ls[arrival])
+            bsx, bsy, btx, bty = (int(v) for v in state.cand_geometry[cand])
+            bend_s, bend_t = Point(bsx, bsy), Point(btx, bty)
+            _emit_wire(route, src, bend_s, source_layer)
+            _emit_via(route, bend_s, source_layer, mid_layer)
+            _emit_wire(route, bend_s, bend_t, mid_layer)
+            _emit_via(route, bend_t, mid_layer, arrival)
+            _emit_wire(route, bend_t, dst, arrival)
+
+        lo_c, hi_c = job.combine_store[node]
+        stack_lo = int(lo_c[source_layer])
+        stack_hi = int(hi_c[source_layer])
+        _emit_via(route, src, stack_lo, stack_hi)
+        for child in ordered.children(node):
+            pending.append(
+                (child, best_layer_in_interval(job.node_vectors[child], stack_lo, stack_hi))
+            )
+    return normalize_route(route)
+
+
+# ---------------------------------------------------------------------- #
+# Normalisation
+# ---------------------------------------------------------------------- #
+def normalize_route(route: Route) -> Route:
+    """Fuse overlapping geometry at unit-edge granularity.
+
+    Sibling two-pin paths of a net may share grid edges (e.g. both run
+    through the parent node); a net occupies each routing-graph edge
+    once, so duplicates must collapse before demand is committed.
+    """
+    h_edges: Set[Tuple[int, int, int]] = set()  # (layer, x, y): (x,y)-(x+1,y)
+    v_edges: Set[Tuple[int, int, int]] = set()  # (layer, x, y): (x,y)-(x,y+1)
+    for wire in route.wires:
+        if wire.is_horizontal:
+            for x in range(wire.x1, wire.x2):
+                h_edges.add((wire.layer, x, wire.y1))
+        else:
+            for y in range(wire.y1, wire.y2):
+                v_edges.add((wire.layer, wire.x1, y))
+    via_edges: Set[Tuple[int, int, int]] = set()  # (x, y, l): layer l - l+1
+    for via in route.vias:
+        for layer in range(via.lo, via.hi):
+            via_edges.add((via.x, via.y, layer))
+
+    result = Route()
+    _merge_runs(
+        sorted(h_edges, key=lambda e: (e[0], e[2], e[1])),
+        key=lambda e: (e[0], e[2]),
+        coord=lambda e: e[1],
+        emit=lambda e, lo, hi: result.add_wire(
+            WireSegment(e[0], lo, e[2], hi + 1, e[2])
+        ),
+    )
+    _merge_runs(
+        sorted(v_edges),
+        key=lambda e: (e[0], e[1]),
+        coord=lambda e: e[2],
+        emit=lambda e, lo, hi: result.add_wire(
+            WireSegment(e[0], e[1], lo, e[1], hi + 1)
+        ),
+    )
+    _merge_runs(
+        sorted(via_edges),
+        key=lambda e: (e[0], e[1]),
+        coord=lambda e: e[2],
+        emit=lambda e, lo, hi: result.add_via(ViaSegment(e[0], e[1], lo, hi + 1)),
+    )
+    return result
+
+
+def _merge_runs(items, key, coord, emit) -> None:
+    """Group sorted unit elements by ``key`` and fuse consecutive runs."""
+    run_start = None
+    prev = None
+    prev_item = None
+    for item in items:
+        if prev_item is not None and key(item) == key(prev_item) and coord(item) == prev + 1:
+            prev = coord(item)
+            prev_item = item
+            continue
+        if prev_item is not None:
+            emit(prev_item, run_start, prev)
+        run_start = coord(item)
+        prev = coord(item)
+        prev_item = item
+    if prev_item is not None:
+        emit(prev_item, run_start, prev)
+
+
+__all__ = ["best_layer_in_interval", "reconstruct_route", "normalize_route"]

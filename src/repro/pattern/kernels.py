@@ -1,0 +1,197 @@
+"""Dense min-plus kernels: the paper's computation-graph flows.
+
+Every function here is a pure array transformation — no grid, net or
+tree objects — mirroring what the CUDA kernels compute on device:
+
+* :func:`minplus_vec_mat` is Eq. 7: ``c*(lt) = min_ls (w1[ls] + W2[ls, lt])``;
+* :func:`minplus_two_bend` evaluates both L-shape bends and merges;
+* :func:`zshape_reduce` is Eq. 14 plus the merge step of Eq. 10:
+  ``c*(lt) = min_i min_{ls, lb} (w1[i, ls] + W2[i, ls, lb] + W3[i, lb, lt])``;
+* :func:`combine_children` is the exact via-stack form of the bottom
+  children cost, Eq. 2 (see DESIGN.md Sec. 5): enumerate via-stack
+  intervals ``[lo, hi]`` and charge every child its best layer inside.
+
+All kernels carry batch dimensions so one call covers every two-pin net
+of a wave (lock-step lanes on the simulated device); all return argmins
+for path reconstruction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+INF = np.inf
+
+
+def interval_min(costs: np.ndarray) -> np.ndarray:
+    """Return ``M[..., lo, hi] = min(costs[..., lo..hi])`` (inf for lo > hi).
+
+    ``costs`` has shape ``(..., L)``; the result appends an ``(L, L)``
+    upper-triangular interval table.
+    """
+    costs = np.asarray(costs, dtype=float)
+    length = costs.shape[-1]
+    out = np.full(costs.shape[:-1] + (length, length), INF)
+    idx = np.arange(length)
+    out[..., idx, idx] = costs
+    for hi in range(1, length):
+        out[..., :hi, hi] = np.minimum(out[..., :hi, hi - 1], costs[..., None, hi])
+    return out
+
+
+def combine_children(
+    child_costs: np.ndarray,
+    child_node_index: np.ndarray,
+    n_nodes: int,
+    via_prefix: np.ndarray,
+    pin_lo: np.ndarray,
+    pin_hi: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Combine children cost vectors at a wave of tree nodes (Eq. 2, exact).
+
+    At each node a via stack ``[lo, hi]`` must cover the departure layer
+    ``ls``, every pin at the node, and the arrival layer chosen for each
+    child; each child pays its cheapest layer inside the stack.
+
+    Parameters
+    ----------
+    child_costs:
+        ``(C, L)`` — stacked ``c*`` vectors of all children in the wave.
+    child_node_index:
+        ``(C,)`` — row ``c`` belongs to wave-node ``child_node_index[c]``.
+    n_nodes:
+        Number of wave nodes ``B``.
+    via_prefix:
+        ``(B, L)`` — cumulative via cost at each node's G-cell
+        (:meth:`repro.grid.cost.CostQuery.via_prefix_at`).
+    pin_lo, pin_hi:
+        ``(B,)`` — min/max pin layer at each node.  For a node without
+        pins pass ``pin_lo = L`` and ``pin_hi = -1`` (no constraint).
+
+    Returns
+    -------
+    combine, lo_choice, hi_choice:
+        ``(B, L)`` each: ``combine[b, ls]`` is the bottom-children cost
+        ``cbc`` for departure layer ``ls``; ``lo/hi_choice`` the argmin
+        via-stack interval.
+    """
+    child_costs = np.asarray(child_costs, dtype=float)
+    via_prefix = np.asarray(via_prefix, dtype=float)
+    n_layers = via_prefix.shape[1]
+    if n_nodes == 0:
+        empty = np.zeros((0, n_layers))
+        return empty, empty.astype(int), empty.astype(int)
+
+    # S[b, lo, hi] = sum over children of min cost inside [lo, hi].
+    child_sum = np.zeros((n_nodes, n_layers, n_layers))
+    if child_costs.shape[0]:
+        tables = interval_min(child_costs)  # (C, L, L)
+        tables = np.where(np.isfinite(tables), tables, 1e18)  # keep sums finite
+        np.add.at(child_sum, np.asarray(child_node_index, dtype=int), tables)
+
+    # V[b, lo, hi] = via-stack cost, defined on lo <= hi only.
+    stack_cost = via_prefix[:, None, :] - via_prefix[:, :, None]  # (B, lo, hi)
+    lo_idx = np.arange(n_layers)[:, None]
+    hi_idx = np.arange(n_layers)[None, :]
+    upper = lo_idx <= hi_idx
+    total = np.where(upper, stack_cost + child_sum, INF)  # (B, L, L)
+
+    # Feasibility per departure layer ls: lo <= min(ls, pin_lo), hi >= max(ls, pin_hi).
+    ls_idx = np.arange(n_layers)
+    need_lo = np.minimum(ls_idx[None, :], np.asarray(pin_lo, dtype=int)[:, None])  # (B, L)
+    need_hi = np.maximum(ls_idx[None, :], np.asarray(pin_hi, dtype=int)[:, None])  # (B, L)
+    feasible = (lo_idx[None, None] <= need_lo[:, :, None, None]) & (
+        hi_idx[None, None] >= need_hi[:, :, None, None]
+    )  # (B, L, L, L) over (b, ls, lo, hi)
+    masked = np.where(feasible, total[:, None, :, :], INF)
+    flat = masked.reshape(n_nodes, n_layers, n_layers * n_layers)
+    best = flat.argmin(axis=2)  # (B, L)
+    combine = np.take_along_axis(flat, best[:, :, None], axis=2)[:, :, 0]
+    lo_choice = best // n_layers
+    hi_choice = best % n_layers
+    return combine, lo_choice, hi_choice
+
+
+def minplus_vec_mat(w1: np.ndarray, mat: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Eq. 7: ``R[b, lt] = min_ls (w1[b, ls] + mat[b, ls, lt])``.
+
+    Returns ``(R, arg_ls)`` with shapes ``(B, L)``.
+    """
+    total = w1[:, :, None] + mat  # (B, ls, lt)
+    arg_ls = total.argmin(axis=1)
+    values = np.take_along_axis(total, arg_ls[:, None, :], axis=1)[:, 0, :]
+    return values, arg_ls
+
+
+def minplus_two_bend(
+    w1a: np.ndarray,
+    mat_a: np.ndarray,
+    w1b: np.ndarray,
+    mat_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate both L-shape bend choices and merge elementwise.
+
+    Returns ``(R, bend_choice, arg_ls)`` with shapes ``(B, L)``;
+    ``bend_choice`` is 0 for the first bend, 1 for the second.
+    """
+    values_a, arg_a = minplus_vec_mat(w1a, mat_a)
+    values_b, arg_b = minplus_vec_mat(w1b, mat_b)
+    use_b = values_b < values_a
+    values = np.where(use_b, values_b, values_a)
+    arg_ls = np.where(use_b, arg_b, arg_a)
+    return values, use_b.astype(int), arg_ls
+
+
+def zshape_reduce(
+    w1: np.ndarray,
+    mat2: np.ndarray,
+    mat3: np.ndarray,
+    valid: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Eq. 14 + merge (Eq. 10) over padded candidate flows.
+
+    Parameters
+    ----------
+    w1:
+        ``(B, C, L)`` — ``cbc + first-segment`` cost per candidate.
+    mat2:
+        ``(B, C, L, L)`` — source-bend via + middle-segment cost (Eq. 12).
+    mat3:
+        ``(B, C, L, L)`` — target-bend via + last-segment cost (Eq. 13).
+    valid:
+        ``(B, C)`` bool — False marks padding candidates.
+
+    Returns
+    -------
+    R, cand, arg_lb, arg_ls:
+        all ``(B, L)``: cost per target layer, winning candidate index,
+        and its middle/source layers.
+    """
+    step1 = w1[:, :, :, None] + mat2  # (B, C, ls, lb)
+    arg_ls_full = step1.argmin(axis=2)  # (B, C, lb)
+    step1_min = np.take_along_axis(step1, arg_ls_full[:, :, None, :], axis=2)[:, :, 0, :]
+
+    step2 = step1_min[:, :, :, None] + mat3  # (B, C, lb, lt)
+    arg_lb_full = step2.argmin(axis=2)  # (B, C, lt)
+    step2_min = np.take_along_axis(step2, arg_lb_full[:, :, None, :], axis=2)[:, :, 0, :]
+
+    step2_min = np.where(valid[:, :, None], step2_min, INF)
+    cand = step2_min.argmin(axis=1)  # (B, lt)
+    values = np.take_along_axis(step2_min, cand[:, None, :], axis=1)[:, 0, :]
+
+    # Gather the winning candidate's middle and source layers.
+    arg_lb = np.take_along_axis(arg_lb_full, cand[:, None, :], axis=1)[:, 0, :]  # (B, lt)
+    batch_idx = np.arange(w1.shape[0])[:, None]
+    arg_ls = arg_ls_full[batch_idx, cand, arg_lb]  # (B, lt)
+    return values, cand, arg_lb, arg_ls
+
+
+__all__ = [
+    "interval_min",
+    "combine_children",
+    "minplus_vec_mat",
+    "minplus_two_bend",
+    "zshape_reduce",
+]

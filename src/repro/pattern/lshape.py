@@ -1,0 +1,88 @@
+"""GPU-friendly 3-D L-shape pattern routing (Sec. III-D, Fig. 8).
+
+For a two-pin net ``Ps -> Pt`` there are two candidate bend points in
+2-D (``(xt, ys)`` and ``(xs, yt)``); in 3-D every ``(ls, lt)`` layer
+pair is a candidate path ``P{Ps, B_ls, T_lt}`` with cost Eq. 1.  The
+whole wave of two-pin nets is priced with four prefix-sum gathers and
+one :func:`~repro.pattern.kernels.minplus_two_bend` call — the paper's
+Eq. 5–7 computation graph flow, batched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.grid.cost import CostQuery
+from repro.pattern.kernels import minplus_two_bend
+from repro.pattern.twopin import EdgeBacktrack, PatternMode, TwoPinTask
+
+
+def lshape_bends(task: TwoPinTask) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    """Return the two candidate bend points of a two-pin net.
+
+    Bend 0 routes the first segment horizontally (``B = (xt, ys)``);
+    bend 1 routes it vertically (``B = (xs, yt)``).  For straight or
+    degenerate nets the bends coincide with an endpoint and one segment
+    is empty — the kernels price empty segments at zero on every layer.
+    """
+    return (task.dst.x, task.src.y), (task.src.x, task.dst.y)
+
+
+def route_lshape_wave(
+    tasks: List[TwoPinTask],
+    combine: np.ndarray,
+    query: CostQuery,
+) -> Tuple[np.ndarray, List[EdgeBacktrack], int]:
+    """Price a wave of L-shape two-pin nets.
+
+    Parameters
+    ----------
+    tasks:
+        The wave's two-pin nets (any mode — the L kernel is also the
+        fallback for degenerate hybrid nets).
+    combine:
+        ``(B, L)`` bottom-children costs ``cbc`` at each task's source
+        node (Eq. 2), already including pin via stacks.
+    query:
+        The frozen cost snapshot of the current scheduler batch.
+
+    Returns
+    -------
+    values, backtracks, elements:
+        ``values[b, lt] = c*(Ps, Pt, lt)`` (Eq. 7); per-task argmin
+        state; and the elementwise work performed (for the device's
+        launch accounting).
+    """
+    n_tasks = len(tasks)
+    n_layers = query.n_layers
+    if n_tasks == 0:
+        return np.zeros((0, n_layers)), [], 0
+
+    xs = np.array([t.src.x for t in tasks])
+    ys = np.array([t.src.y for t in tasks])
+    xt = np.array([t.dst.x for t in tasks])
+    yt = np.array([t.dst.y for t in tasks])
+
+    # Bend 0: Ps --H--> (xt, ys) --V--> Pt.
+    w1_a = combine + query.segment_cost_layers(xs, ys, xt, ys)
+    mat_a = query.via_matrix(xt, ys) + query.segment_cost_layers(xt, ys, xt, yt)[:, None, :]
+    # Bend 1: Ps --V--> (xs, yt) --H--> Pt.
+    w1_b = combine + query.segment_cost_layers(xs, ys, xs, yt)
+    mat_b = query.via_matrix(xs, yt) + query.segment_cost_layers(xs, yt, xt, yt)[:, None, :]
+
+    values, bend_choice, arg_ls = minplus_two_bend(w1_a, mat_a, w1_b, mat_b)
+    backtracks = [
+        EdgeBacktrack(
+            mode=PatternMode.LSHAPE,
+            arg_ls=arg_ls[i],
+            bend_choice=bend_choice[i],
+        )
+        for i in range(n_tasks)
+    ]
+    elements = n_tasks * 2 * n_layers * n_layers
+    return values, backtracks, elements
+
+
+__all__ = ["lshape_bends", "route_lshape_wave"]

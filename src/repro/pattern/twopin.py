@@ -1,0 +1,136 @@
+"""Two-pin routing tasks, net routing jobs, and wave scheduling.
+
+A *job* is one multi-pin net flowing through the pattern stage: its
+Steiner tree, the bottom-up two-pin-net order, and the per-node DP state
+the kernels fill in.  A *wave* groups, across every job of a scheduler
+batch, the two-pin nets whose child subtrees are already complete — one
+wave is one kernel launch on the simulated device (Fig. 7: blocks =
+nets, lanes = layer combinations; here lanes also span the batch).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.grid.geometry import Point
+from repro.netlist.net import Net
+from repro.tree.ordering import OrderedTree
+from repro.tree.steiner import SteinerTree
+
+
+class PatternMode(enum.Enum):
+    """Which pattern family routes a two-pin net."""
+
+    LSHAPE = "L"
+    ZSHAPE = "Z"
+    HYBRID = "H"
+
+
+@dataclass
+class EdgeBacktrack:
+    """Per-two-pin-net argmin state for path reconstruction.
+
+    For L-shape: ``bend_choice[lt]`` selects bend 1 or 2 and
+    ``arg_ls[lt]`` the source layer.  For Z/hybrid: ``cand[lt]`` selects
+    the bend-point pair (indexing ``cand_geometry``), ``arg_lb[lt]`` the
+    middle layer, ``arg_ls[lt]`` the source layer.
+    """
+
+    mode: PatternMode
+    arg_ls: np.ndarray
+    bend_choice: Optional[np.ndarray] = None
+    cand: Optional[np.ndarray] = None
+    arg_lb: Optional[np.ndarray] = None
+    cand_geometry: Optional[np.ndarray] = None  # (C, 4): bsx, bsy, btx, bty
+
+
+@dataclass
+class NetRoutingJob:
+    """DP state of one multi-pin net moving through the pattern stage."""
+
+    net: Net
+    tree: SteinerTree
+    ordered: OrderedTree
+    node_vectors: Dict[int, np.ndarray] = field(default_factory=dict)
+    combine_store: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    edge_store: Dict[int, EdgeBacktrack] = field(default_factory=dict)
+    root_interval: Tuple[int, int] = (0, 0)
+    total_cost: float = float("nan")
+
+    def pin_range(self, node: int, n_layers: int) -> Tuple[int, int]:
+        """Return ``(pin_lo, pin_hi)`` layer bounds at a tree node.
+
+        The no-pin encoding ``(n_layers, -1)`` makes the constraints
+        vacuous in :func:`repro.pattern.kernels.combine_children`.
+        """
+        layers = self.tree.nodes[node].pin_layers
+        if not layers:
+            return (n_layers, -1)
+        return (min(layers), max(layers))
+
+
+@dataclass(frozen=True)
+class TwoPinTask:
+    """One two-pin net inside a wave."""
+
+    job_index: int
+    child: int
+    parent: int
+    src: Point
+    dst: Point
+    mode: PatternMode
+
+    @property
+    def hpwl(self) -> int:
+        """Half-perimeter length of the two-pin net's bounding box."""
+        return abs(self.src.x - self.dst.x) + abs(self.src.y - self.dst.y)
+
+
+ModeSelector = Callable[[Point, Point], PatternMode]
+
+
+def constant_mode(mode: PatternMode) -> ModeSelector:
+    """Return a selector that routes every two-pin net with ``mode``."""
+
+    def select(_src: Point, _dst: Point) -> PatternMode:
+        return mode
+
+    return select
+
+
+def build_waves(
+    jobs: List[NetRoutingJob], mode_fn: ModeSelector
+) -> List[List[TwoPinTask]]:
+    """Group all two-pin nets of ``jobs`` into dependency-free waves.
+
+    Wave ``h`` holds every two-pin net whose child subtree has height
+    ``h``; all of a task's children appear in strictly earlier waves, so
+    each wave is one batched kernel evaluation.
+    """
+    waves: List[List[TwoPinTask]] = []
+    for job_index, job in enumerate(jobs):
+        heights = job.ordered.subtree_height()
+        for child, parent in job.ordered.two_pin_nets:
+            src = job.tree.nodes[child].point
+            dst = job.tree.nodes[parent].point
+            task = TwoPinTask(job_index, child, parent, src, dst, mode_fn(src, dst))
+            level = heights[child]
+            while len(waves) <= level:
+                waves.append([])
+            waves[level].append(task)
+    return waves
+
+
+__all__ = [
+    "PatternMode",
+    "EdgeBacktrack",
+    "NetRoutingJob",
+    "TwoPinTask",
+    "ModeSelector",
+    "constant_mode",
+    "build_waves",
+]

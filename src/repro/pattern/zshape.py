@@ -1,0 +1,173 @@
+"""GPU-friendly 3-D Z-shape and hybrid-shape pattern routing
+(Sec. III-E/III-F, Fig. 9–11).
+
+A Z path ``Ps -> Bs -> Bt -> Pt`` has two bend points; once the target
+bend ``Bt`` is placed on one of the bounding-box edges touching ``Pt``,
+the source bend ``Bs`` is determined.  Pure Z-shape offers ``M + N - 2``
+candidate bend-point pairs; the hybrid shape unifies Z and L by letting
+``Bt`` coincide with ``Pt``, for ``M + N`` candidates (Fig. 11).  Every
+candidate is one computation flow (Eq. 11–14) and a merge step (Eq. 10)
+folds them — all batched, padded to the widest candidate count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.grid.cost import CostQuery
+from repro.pattern.kernels import zshape_reduce
+from repro.pattern.twopin import EdgeBacktrack, PatternMode, TwoPinTask
+
+
+def zshape_candidates(task: TwoPinTask) -> np.ndarray:
+    """Enumerate candidate bend-point pairs as an ``(C, 4)`` int array.
+
+    Rows are ``(bs_x, bs_y, bt_x, bt_y)``.  Two families:
+
+    * **HVH** — horizontal, vertical, horizontal: ``Bs = (bx, ys)``,
+      ``Bt = (bx, yt)`` for every column ``bx`` of the bounding box
+      (``M`` flows; the extreme columns degenerate into L shapes);
+    * **VHV** — ``Bs = (xs, by)``, ``Bt = (xt, by)`` for rows ``by``
+      (``N`` flows).
+
+    ``PatternMode.HYBRID`` keeps all ``M + N`` flows (Sec. III-F);
+    ``PatternMode.ZSHAPE`` drops the two VHV extremes, matching the
+    paper's ``M + N - 2`` count for the plain Z pattern.
+    """
+    xs, ys, xt, yt = task.src.x, task.src.y, task.dst.x, task.dst.y
+    xlo, xhi = sorted((xs, xt))
+    ylo, yhi = sorted((ys, yt))
+    rows: List[Tuple[int, int, int, int]] = []
+    for bx in range(xlo, xhi + 1):
+        rows.append((bx, ys, bx, yt))
+    if task.mode is PatternMode.ZSHAPE:
+        y_range = range(ylo + 1, yhi)
+    else:
+        y_range = range(ylo, yhi + 1)
+    for by in y_range:
+        rows.append((xs, by, xt, by))
+    if not rows:  # single-column, single-row net: one degenerate flow
+        rows.append((xs, ys, xs, ys))
+    return np.array(rows, dtype=int)
+
+
+def route_zshape_wave(
+    tasks: List[TwoPinTask],
+    combine: np.ndarray,
+    query: CostQuery,
+    max_chunk_elements: int = 150_000,
+) -> Tuple[np.ndarray, List[EdgeBacktrack], int]:
+    """Price a wave of Z/hybrid two-pin nets.
+
+    Returns ``(values, backtracks, elements)`` exactly like
+    :func:`repro.pattern.lshape.route_lshape_wave`.  Work is split into
+    chunks bounded by ``max_chunk_elements`` tensor entries so a few
+    huge nets cannot blow up memory (the pathology the paper's selection
+    technique exists to avoid, Sec. IV-D).
+    """
+    n_tasks = len(tasks)
+    n_layers = query.n_layers
+    if n_tasks == 0:
+        return np.zeros((0, n_layers)), [], 0
+
+    candidates = [zshape_candidates(t) for t in tasks]
+    counts = np.array([c.shape[0] for c in candidates])
+    values = np.zeros((n_tasks, n_layers))
+    backtracks: List[EdgeBacktrack] = [None] * n_tasks  # type: ignore[list-item]
+    elements = 0
+
+    # Cluster tasks of similar candidate counts to minimise padding.
+    order = np.argsort(counts, kind="stable")
+    start = 0
+    while start < len(order):
+        width = int(counts[order[start]])
+        stop = start
+        while stop < len(order):
+            width = max(width, int(counts[order[stop]]))
+            size = (stop - start + 1) * width * n_layers * n_layers
+            if stop > start and size > max_chunk_elements:
+                break
+            stop += 1
+        chunk = [int(i) for i in order[start:stop]]
+        elements += _route_chunk(
+            chunk, tasks, candidates, combine, query, values, backtracks
+        )
+        start = stop
+    return values, backtracks, elements
+
+
+def _route_chunk(
+    chunk: List[int],
+    tasks: List[TwoPinTask],
+    candidates: List[np.ndarray],
+    combine: np.ndarray,
+    query: CostQuery,
+    values: np.ndarray,
+    backtracks: List[EdgeBacktrack],
+) -> int:
+    """Evaluate one padded chunk in a single batched reduction."""
+    n_layers = query.n_layers
+    b = len(chunk)
+    width = max(candidates[i].shape[0] for i in chunk)
+
+    # Padded candidate geometry; padding repeats the source point so all
+    # padded segments are degenerate (finite cost), masked out by `valid`.
+    bsx = np.empty((b, width), dtype=int)
+    bsy = np.empty((b, width), dtype=int)
+    btx = np.empty((b, width), dtype=int)
+    bty = np.empty((b, width), dtype=int)
+    valid = np.zeros((b, width), dtype=bool)
+    srcx = np.empty((b, width), dtype=int)
+    srcy = np.empty((b, width), dtype=int)
+    dstx = np.empty((b, width), dtype=int)
+    dsty = np.empty((b, width), dtype=int)
+    for row, i in enumerate(chunk):
+        task, cand = tasks[i], candidates[i]
+        count = cand.shape[0]
+        bsx[row, :count], bsy[row, :count] = cand[:, 0], cand[:, 1]
+        btx[row, :count], bty[row, :count] = cand[:, 2], cand[:, 3]
+        bsx[row, count:] = task.src.x
+        bsy[row, count:] = task.src.y
+        btx[row, count:] = task.src.x
+        bty[row, count:] = task.src.y
+        valid[row, :count] = True
+        srcx[row, :] = task.src.x
+        srcy[row, :] = task.src.y
+        dstx[row, :count] = task.dst.x
+        dsty[row, :count] = task.dst.y
+        dstx[row, count:] = task.src.x
+        dsty[row, count:] = task.src.y
+
+    flat = lambda a: a.reshape(-1)  # noqa: E731 - local reshaping shorthand
+    seg_first = query.segment_cost_layers(
+        flat(srcx), flat(srcy), flat(bsx), flat(bsy)
+    ).reshape(b, width, n_layers)
+    seg_mid = query.segment_cost_layers(
+        flat(bsx), flat(bsy), flat(btx), flat(bty)
+    ).reshape(b, width, n_layers)
+    seg_last = query.segment_cost_layers(
+        flat(btx), flat(bty), flat(dstx), flat(dsty)
+    ).reshape(b, width, n_layers)
+    via_bs = query.via_matrix(flat(bsx), flat(bsy)).reshape(b, width, n_layers, n_layers)
+    via_bt = query.via_matrix(flat(btx), flat(bty)).reshape(b, width, n_layers, n_layers)
+
+    w1 = combine[chunk][:, None, :] + seg_first  # Eq. 11
+    mat2 = via_bs + seg_mid[:, :, None, :]  # Eq. 12
+    mat3 = via_bt + seg_last[:, :, None, :]  # Eq. 13
+    chunk_values, cand_idx, arg_lb, arg_ls = zshape_reduce(w1, mat2, mat3, valid)
+
+    for row, i in enumerate(chunk):
+        values[i] = chunk_values[row]
+        backtracks[i] = EdgeBacktrack(
+            mode=tasks[i].mode,
+            arg_ls=arg_ls[row],
+            cand=cand_idx[row],
+            arg_lb=arg_lb[row],
+            cand_geometry=candidates[i],
+        )
+    return 2 * b * width * n_layers * n_layers
+
+
+__all__ = ["zshape_candidates", "route_zshape_wave"]

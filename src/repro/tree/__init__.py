@@ -1,0 +1,20 @@
+"""Steiner-tree substrate: topology generation for multi-pin nets.
+
+Modern global routers decompose every multi-pin net into two-pin nets
+via a Steiner tree (Sec. II-B), optimise the tree (edge shifting), and
+order the two-pin nets by a reverse DFS so the layer-assignment dynamic
+program can run bottom-up (Sec. II-D).
+"""
+
+from repro.tree.steiner import SteinerTree, TreeNode, build_steiner_tree
+from repro.tree.edge_shifting import shift_edges
+from repro.tree.ordering import OrderedTree, order_tree
+
+__all__ = [
+    "TreeNode",
+    "SteinerTree",
+    "build_steiner_tree",
+    "shift_edges",
+    "OrderedTree",
+    "order_tree",
+]

@@ -1,0 +1,108 @@
+"""Edge shifting: congestion-aware Steiner-point relocation.
+
+The pattern-routing planning stage runs "the edge shifting algorithm to
+optimize the Steiner tree" (Sec. III-A, after FastRoute).  A Steiner
+point may sit anywhere that preserves tree length; moving it into a less
+congested row/column lets the subsequent pattern routing find cheaper
+paths.  We implement the standard form:
+
+* only pure Steiner nodes (no pins) move — pin locations are fixed;
+* a node may move to any position in the *median box* of its neighbours
+  (the region of coordinate-wise medians), because every point there
+  minimises the sum of Manhattan distances to the neighbours, so total
+  tree length never increases (asserted by tests);
+* among the candidates, pick the one whose surrounding wire demand is
+  lowest under the current grid state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.grid.geometry import Point
+from repro.grid.graph import GridGraph
+from repro.tree.steiner import SteinerTree
+
+
+def _median_box(points: List[Point]) -> Tuple[int, int, int, int]:
+    """Return the (xlo, xhi, ylo, yhi) of the coordinate-wise median box.
+
+    For ``k`` points the set of minimisers of the 1-D weighted-median
+    problem is the interval between the lower and upper medians.
+    """
+    xs = sorted(p.x for p in points)
+    ys = sorted(p.y for p in points)
+    k = len(xs)
+    lo_idx = (k - 1) // 2
+    hi_idx = k // 2
+    return xs[lo_idx], xs[hi_idx], ys[lo_idx], ys[hi_idx]
+
+
+def _local_demand(graph: GridGraph, x: int, y: int) -> float:
+    """Return a cheap congestion probe around G-cell ``(x, y)``.
+
+    Sums demand/capacity of the wire edges touching the cell across all
+    layers; blocked (zero-capacity) edges count as fully congested.
+    """
+    total = 0.0
+    for layer in range(graph.n_layers):
+        cap = graph.wire_capacity[layer]
+        dem = graph.wire_demand[layer]
+        if graph.stack.is_horizontal(layer):
+            for ex in (x - 1, x):
+                if 0 <= ex < cap.shape[0]:
+                    c = cap[ex, y]
+                    total += dem[ex, y] / c if c > 0 else 1.0
+        else:
+            for ey in (y - 1, y):
+                if 0 <= ey < cap.shape[1]:
+                    c = cap[x, ey]
+                    total += dem[x, ey] / c if c > 0 else 1.0
+    return total
+
+
+def shift_edges(tree: SteinerTree, graph: GridGraph, max_candidates: int = 64) -> int:
+    """Relocate Steiner points inside their median boxes; return #moves.
+
+    Tree length is invariant (each move keeps the node inside the median
+    box of its neighbours); congestion exposure strictly improves for
+    every executed move.
+    """
+    moves = 0
+    for node in tree.nodes:
+        if node.is_pin or node.degree < 2:
+            continue
+        nbr_points = [tree.nodes[n].point for n in node.neighbors]
+        xlo, xhi, ylo, yhi = _median_box(nbr_points)
+        if (xhi - xlo + 1) * (yhi - ylo + 1) <= 1:
+            continue
+        candidates = [
+            Point(x, y)
+            for x in range(xlo, xhi + 1)
+            for y in range(ylo, yhi + 1)
+        ]
+        if len(candidates) > max_candidates:
+            # Thin out a huge box deterministically; keep corners + centre.
+            stride = int(np.ceil(len(candidates) / max_candidates))
+            candidates = candidates[::stride]
+        if node.point not in candidates:
+            candidates.append(node.point)
+        current_cost = _local_demand(graph, node.point.x, node.point.y)
+        best_point, best_cost = node.point, current_cost
+        for cand in candidates:
+            cost = (
+                current_cost
+                if cand == node.point
+                else _local_demand(graph, cand.x, cand.y)
+            )
+            if cost < best_cost or (cost == best_cost and cand < best_point):
+                best_point, best_cost = cand, cost
+        if best_point != node.point and best_cost < current_cost:
+            node.point = best_point
+            moves += 1
+    return moves
+
+
+__all__ = ["shift_edges"]

@@ -1,0 +1,7 @@
+"""Small shared utilities: timers, disjoint sets, deterministic RNG."""
+
+from repro.utils.timing import StageTimer, Stopwatch
+from repro.utils.unionfind import UnionFind
+from repro.utils.rng import make_rng
+
+__all__ = ["StageTimer", "Stopwatch", "UnionFind", "make_rng"]

@@ -1,0 +1,25 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the reproduction (benchmark generator, pin
+scatter, tie-breaking studies) draws from a seeded ``numpy`` generator so
+runs are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def make_rng(seed: object) -> np.random.Generator:
+    """Return a ``numpy`` Generator seeded deterministically from ``seed``.
+
+    Non-integer seeds (e.g. benchmark names) are hashed with a stable hash
+    so the same string always yields the same stream across processes —
+    Python's builtin ``hash`` is salted per process and must not be used.
+    """
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    digest = hashlib.sha256(repr(seed).encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))

@@ -1,0 +1,69 @@
+"""Wall-clock timers used to record per-stage runtimes.
+
+The paper reports TOTAL, PATTERN and MAZE runtimes (Tables V, VII, VIII).
+``StageTimer`` accumulates named stages so the router can report the same
+breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class Stopwatch:
+    """A resettable stopwatch measuring elapsed wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def reset(self) -> None:
+        """Restart the stopwatch from zero."""
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Return seconds elapsed since construction or the last reset."""
+        return time.perf_counter() - self._start
+
+
+class StageTimer:
+    """Accumulate wall-clock time into named stages.
+
+    >>> timer = StageTimer()
+    >>> with timer.stage("pattern"):
+    ...     pass
+    >>> timer.total("pattern") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and add it to stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to stage ``name`` directly."""
+        if seconds < 0:
+            raise ValueError("cannot add negative time to a stage")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    def total(self, name: str) -> float:
+        """Return the accumulated seconds for ``name`` (0.0 if unseen)."""
+        return self._totals.get(name, 0.0)
+
+    def totals(self) -> Dict[str, float]:
+        """Return a copy of all accumulated stage totals."""
+        return dict(self._totals)
+
+    def grand_total(self) -> float:
+        """Return the sum over all stages."""
+        return sum(self._totals.values())

@@ -1,0 +1,61 @@
+"""Disjoint-set (union-find) structure.
+
+Used by the Steiner-tree builder (Kruskal/Prim hybrid) and by the maze
+router when merging routed components of a multi-pin net.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+
+class UnionFind:
+    """Union-find over arbitrary hashable items with path compression."""
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton set if not already present."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s set."""
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the path at the root.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; return True if they were apart."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def n_components(self) -> int:
+        """Return the number of disjoint sets currently tracked."""
+        return sum(1 for item in self._parent if self._parent[item] == item)

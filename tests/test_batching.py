@@ -1,0 +1,72 @@
+"""Tests for Algorithm 1 batch extraction."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.geometry import Rect
+from repro.sched.batching import extract_batches
+from repro.sched.conflict import build_conflict_graph
+
+
+def boxes_strategy(span=40):
+    coord = st.integers(0, span)
+    return st.lists(
+        st.tuples(coord, coord, st.integers(0, 8), st.integers(0, 8)).map(
+            lambda t: Rect(t[0], t[1], min(t[0] + t[2], 49), min(t[1] + t[3], 49))
+        ),
+        min_size=0,
+        max_size=25,
+    )
+
+
+class TestExtractBatches:
+    def test_disjoint_boxes_single_batch(self):
+        boxes = [Rect(0, 0, 2, 2), Rect(5, 5, 7, 7), Rect(10, 0, 12, 2)]
+        batches = extract_batches(boxes, 16, 16)
+        assert batches == [[0, 1, 2]]
+
+    def test_identical_boxes_fully_serialised(self):
+        boxes = [Rect(1, 1, 3, 3)] * 4
+        batches = extract_batches(boxes, 8, 8)
+        assert batches == [[0], [1], [2], [3]]
+
+    def test_every_task_appears_exactly_once(self):
+        boxes = [Rect(i % 5, i % 3, i % 5 + 3, i % 3 + 3) for i in range(12)]
+        batches = extract_batches(boxes, 10, 10)
+        flat = [i for batch in batches for i in batch]
+        assert sorted(flat) == list(range(12))
+
+    def test_order_within_batch_preserved(self):
+        boxes = [Rect(0, 0, 1, 1), Rect(5, 5, 6, 6), Rect(9, 9, 10, 10)]
+        batches = extract_batches(boxes, 12, 12)
+        assert batches[0] == sorted(batches[0])
+
+    def test_empty_input(self):
+        assert extract_batches([], 8, 8) == []
+
+    def test_greedy_takes_first_remaining(self):
+        # First net of every batch is the lowest remaining index.
+        boxes = [Rect(0, 0, 4, 4)] * 3 + [Rect(6, 6, 8, 8)]
+        batches = extract_batches(boxes, 12, 12)
+        assert batches[0][0] == 0
+        assert batches[1][0] == 1
+
+    @given(boxes=boxes_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_property_batches_are_independent_and_maximal(self, boxes):
+        batches = extract_batches(boxes, 50, 50)
+        conflict = build_conflict_graph(boxes)
+        flat = [i for batch in batches for i in batch]
+        assert sorted(flat) == list(range(len(boxes)))
+        remaining = set(range(len(boxes)))
+        for batch in batches:
+            # Independence: no two members conflict.
+            assert conflict.is_independent_set(batch)
+            # Maximality: every remaining task outside the batch conflicts
+            # with some member (Algorithm 1 admits all compatible nets).
+            chosen = set(batch)
+            for task in remaining - chosen:
+                assert any(conflict.are_conflicting(task, b) for b in batch)
+            remaining -= chosen

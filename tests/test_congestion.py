@@ -1,0 +1,115 @@
+"""Tests for congestion analysis (predictor role of global routing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.congestion import (
+    congestion_map,
+    find_hotspots,
+    layer_utilization,
+)
+from repro.grid.graph import GridGraph
+from repro.grid.layers import LayerStack
+
+
+def grid(capacity=4.0):
+    return GridGraph(16, 16, LayerStack(5), wire_capacity=capacity)
+
+
+class TestLayerUtilization:
+    def test_empty_grid_zero(self):
+        stats = layer_utilization(grid())
+        assert len(stats) == 5
+        assert all(s.mean_utilization == 0.0 for s in stats)
+        assert all(s.overflow_rate == 0.0 for s in stats)
+
+    def test_counts_demand(self):
+        g = grid()
+        g.add_wire_demand(1, 0, 5, 15, 5)
+        stats = layer_utilization(g)
+        assert stats[1].mean_utilization > 0
+        assert stats[1].max_utilization == pytest.approx(0.25)
+
+    def test_blocked_layer_excluded(self):
+        g = grid()
+        g.wire_capacity[0][:] = 0.0
+        stats = layer_utilization(g)
+        assert stats[0].total_edges == 0
+        assert stats[0].overflow_rate == 0.0
+
+    def test_overflow_counted(self):
+        g = grid(capacity=1.0)
+        for _ in range(3):
+            g.add_wire_demand(1, 0, 5, 8, 5)
+        stats = layer_utilization(g)
+        assert stats[1].overflowed_edges == 8
+        assert stats[1].max_utilization == pytest.approx(3.0)
+
+
+class TestCongestionMap:
+    def test_shape(self):
+        assert congestion_map(grid()).shape == (16, 16)
+
+    def test_demand_shows_on_both_endpoints(self):
+        g = grid()
+        for _ in range(4):
+            g.add_wire_demand(1, 5, 5, 6, 5)  # single H edge
+        heat = congestion_map(g)
+        assert heat[5, 5] == pytest.approx(1.0)
+        assert heat[6, 5] == pytest.approx(1.0)
+        assert heat[8, 8] == 0.0
+
+    def test_max_over_layers(self):
+        g = grid()
+        for _ in range(2):
+            g.add_wire_demand(1, 5, 5, 6, 5)
+        for _ in range(4):
+            g.add_wire_demand(3, 5, 5, 6, 5)
+        heat = congestion_map(g)
+        assert heat[5, 5] == pytest.approx(1.0)  # layer 3 dominates
+
+    def test_blocked_edge_with_demand_is_hot(self):
+        g = grid()
+        g.wire_capacity[1][:] = 0.0
+        g.add_wire_demand(1, 5, 5, 6, 5)
+        assert congestion_map(g)[5, 5] > 1.0
+
+
+class TestHotspots:
+    def test_no_hotspots_when_clean(self):
+        assert find_hotspots(grid()) == []
+
+    def test_single_region(self):
+        g = grid(capacity=1.0)
+        for _ in range(3):
+            g.add_wire_demand(1, 4, 5, 8, 5)
+        spots = find_hotspots(g)
+        assert len(spots) == 1
+        # The hotspot spans the congested edge's endpoint cells.
+        assert spots[0].xlo <= 4 and spots[0].xhi >= 8
+        assert spots[0].ylo == spots[0].yhi == 5
+
+    def test_two_separate_regions(self):
+        g = grid(capacity=1.0)
+        for _ in range(3):
+            g.add_wire_demand(1, 1, 2, 3, 2)
+            g.add_wire_demand(1, 10, 12, 13, 12)
+        spots = find_hotspots(g)
+        assert len(spots) == 2
+
+    def test_sorted_largest_first(self):
+        g = grid(capacity=1.0)
+        for _ in range(3):
+            g.add_wire_demand(1, 1, 2, 8, 2)
+            g.add_wire_demand(1, 12, 12, 13, 12)
+        spots = find_hotspots(g)
+        assert spots[0].area >= spots[1].area
+
+    def test_threshold_parameter(self):
+        g = grid(capacity=4.0)
+        for _ in range(3):
+            g.add_wire_demand(1, 4, 5, 8, 5)  # utilisation 0.75
+        assert find_hotspots(g, threshold=1.0) == []
+        assert len(find_hotspots(g, threshold=0.5)) == 1

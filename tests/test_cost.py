@@ -1,0 +1,173 @@
+"""Tests for repro.grid.cost: the cost model and prefix-sum queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.cost import CostModel, CostQuery
+from repro.grid.graph import GridGraph
+from repro.grid.layers import LayerStack
+
+
+class TestCostModel:
+    def test_congestion_increases_with_demand(self):
+        model = CostModel()
+        capacity = np.full(10, 4.0)
+        demand = np.arange(10, dtype=float)
+        cost = model.congestion(demand, capacity)
+        assert np.all(np.diff(cost) > 0)
+
+    def test_congestion_small_when_empty(self):
+        model = CostModel()
+        low = model.congestion(np.array([0.0]), np.array([8.0]))[0]
+        assert low < 0.1 * model.congestion_slope
+
+    def test_overflow_term_linear_beyond_capacity(self):
+        model = CostModel()
+        c4 = model.congestion(np.array([6.0]), np.array([4.0]))[0]
+        c5 = model.congestion(np.array([7.0]), np.array([4.0]))[0]
+        # The saturating logistic tail adds a little; the marginal cost of
+        # one more overflow is dominated by overflow_weight.
+        assert c5 - c4 == pytest.approx(model.overflow_weight, abs=0.5)
+
+    def test_no_overflow_on_saturated_exponent(self):
+        model = CostModel()
+        # Huge demand must not overflow exp().
+        cost = model.congestion(np.array([1e6]), np.array([1.0]))
+        assert np.isfinite(cost).all()
+
+    def test_wire_edge_costs_shape(self, grid):
+        model = CostModel()
+        assert model.wire_edge_costs(grid, 0).shape == grid.wire_demand[0].shape
+        assert model.via_edge_costs(grid).shape == grid.via_demand.shape
+
+    def test_zero_capacity_edges_expensive(self, grid):
+        model = CostModel()
+        grid.wire_capacity[0][:] = 0.0
+        blocked = model.wire_edge_costs(grid, 0)
+        grid.wire_capacity[0][:] = 4.0
+        free = model.wire_edge_costs(grid, 0)
+        assert np.all(blocked > free)
+
+
+class TestScalarQueries:
+    def test_degenerate_segment_is_free(self, query):
+        assert query.wire_segment_cost(0, 3, 3, 3, 3) == 0.0
+
+    def test_direction_mismatch_is_inf(self, query):
+        assert query.wire_segment_cost(0, 2, 5, 7, 5) == float("inf")
+        assert query.wire_segment_cost(1, 3, 2, 3, 6) == float("inf")
+
+    def test_segment_cost_matches_edge_sum(self, grid):
+        model = CostModel()
+        query = CostQuery(grid, model)
+        edges = model.wire_edge_costs(grid, 1)
+        expected = float(np.sum(edges[2:7, 5]))
+        assert query.wire_segment_cost(1, 2, 5, 7, 5) == pytest.approx(expected)
+
+    def test_segment_cost_reversed_same(self, query):
+        a = query.wire_segment_cost(1, 2, 5, 7, 5)
+        b = query.wire_segment_cost(1, 7, 5, 2, 5)
+        assert a == b
+
+    def test_via_stack_cost_matches_edge_sum(self, grid):
+        model = CostModel()
+        query = CostQuery(grid, model)
+        vias = model.via_edge_costs(grid)
+        expected = float(np.sum(vias[1:4, 3, 3]))
+        assert query.via_stack_cost(3, 3, 1, 4) == pytest.approx(expected)
+
+    def test_via_stack_zero_height(self, query):
+        assert query.via_stack_cost(3, 3, 2, 2) == 0.0
+
+    def test_rebuild_sees_new_demand(self, grid):
+        query = CostQuery(grid, CostModel())
+        before = query.wire_segment_cost(1, 2, 5, 7, 5)
+        for _ in range(5):
+            grid.add_wire_demand(1, 2, 5, 7, 5)
+        stale = query.wire_segment_cost(1, 2, 5, 7, 5)
+        assert stale == before  # snapshot semantics
+        query.rebuild()
+        assert query.wire_segment_cost(1, 2, 5, 7, 5) > before
+
+
+class TestBatchedQueries:
+    def test_batch_matches_scalar(self, query):
+        segments = [
+            (2, 5, 7, 5),
+            (3, 2, 3, 6),
+            (0, 0, 0, 0),
+            (7, 5, 2, 5),
+            (11, 0, 11, 9),
+        ]
+        x1, y1, x2, y2 = (np.array(v) for v in zip(*segments))
+        batch = query.segment_cost_layers(x1, y1, x2, y2)
+        for row, (a, b, c, d) in enumerate(segments):
+            for layer in range(query.n_layers):
+                assert batch[row, layer] == pytest.approx(
+                    query.wire_segment_cost(layer, a, b, c, d)
+                ), (row, layer)
+
+    def test_batch_rejects_diagonal(self, query):
+        with pytest.raises(ValueError):
+            query.segment_cost_layers(
+                np.array([0]), np.array([0]), np.array([3]), np.array([3])
+            )
+
+    def test_batch_rejects_mismatched_shapes(self, query):
+        with pytest.raises(ValueError):
+            query.segment_cost_layers(
+                np.array([0, 1]), np.array([0]), np.array([3]), np.array([0])
+            )
+
+    def test_degenerate_rows_zero_on_all_layers(self, query):
+        out = query.segment_cost_layers(
+            np.array([4]), np.array([4]), np.array([4]), np.array([4])
+        )
+        assert np.all(out == 0.0)
+
+    def test_via_prefix_matches_scalar(self, query):
+        prefix = query.via_prefix_at(np.array([3, 7]), np.array([2, 8]))
+        for row, (x, y) in enumerate([(3, 2), (7, 8)]):
+            for layer in range(query.n_layers):
+                assert prefix[row, layer] == pytest.approx(
+                    query.via_stack_cost(x, y, 0, layer)
+                )
+
+    def test_via_matrix_symmetric_zero_diag(self, query):
+        mat = query.via_matrix(np.array([5]), np.array([5]))[0]
+        assert np.allclose(mat, mat.T)
+        assert np.all(np.diag(mat) == 0.0)
+
+    def test_via_matrix_matches_scalar(self, query):
+        mat = query.via_matrix(np.array([4]), np.array([6]))[0]
+        for i in range(query.n_layers):
+            for j in range(query.n_layers):
+                assert mat[i, j] == pytest.approx(
+                    query.via_stack_cost(4, 6, min(i, j), max(i, j))
+                )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x1=st.integers(0, 11),
+    y=st.integers(0, 9),
+    x2=st.integers(0, 11),
+    layer=st.sampled_from([1, 3]),
+    demand_seed=st.integers(0, 1000),
+)
+def test_prefix_sums_match_bruteforce_random_demand(x1, y, x2, layer, demand_seed):
+    """Property: segment cost == direct edge-cost sum under random demand."""
+    rng = np.random.default_rng(demand_seed)
+    grid = GridGraph(12, 10, LayerStack(5), wire_capacity=4.0)
+    for lay in range(grid.n_layers):
+        grid.wire_demand[lay][:] = rng.integers(0, 7, grid.wire_demand[lay].shape)
+    model = CostModel()
+    query = CostQuery(grid, model)
+    edges = model.wire_edge_costs(grid, layer)
+    lo, hi = sorted((x1, x2))
+    expected = float(np.sum(edges[lo:hi, y]))
+    assert query.wire_segment_cost(layer, x1, y, x2, y) == pytest.approx(expected)

@@ -1,0 +1,108 @@
+"""Tests for congestion-aware edge shifting."""
+
+from __future__ import annotations
+
+from repro.grid.graph import GridGraph
+from repro.grid.layers import LayerStack
+from repro.netlist.net import Net, Pin
+from repro.tree.edge_shifting import shift_edges
+from repro.tree.steiner import build_steiner_tree
+
+
+def fresh_grid(nx=16, ny=16):
+    return GridGraph(nx, ny, LayerStack(5), wire_capacity=4.0)
+
+
+def tree_with_steiner():
+    """A T of three pins with a Steiner point (unique median: no freedom)."""
+    return build_steiner_tree(
+        Net("n", [Pin(0, 0, 0), Pin(10, 0, 0), Pin(5, 5, 0)])
+    )
+
+
+def tree_with_sliding_steiner():
+    """A hand-built degree-4 Steiner node whose median box is a segment.
+
+    Neighbour xs {0, 4, 8, 12} give x-freedom [4, 8] at fixed y=5; every
+    position in the box keeps total tree length constant.
+    """
+    from repro.grid.geometry import Point
+    from repro.tree.steiner import SteinerTree, TreeNode
+
+    nodes = [
+        TreeNode(0, Point(0, 5), (0,)),
+        TreeNode(1, Point(12, 5), (0,)),
+        TreeNode(2, Point(4, 0), (0,)),
+        TreeNode(3, Point(8, 9), (0,)),
+        TreeNode(4, Point(5, 5)),  # the sliding Steiner node
+    ]
+    tree = SteinerTree(nodes)
+    for pin in range(4):
+        tree.add_edge(4, pin)
+    tree.validate()
+    return tree
+
+
+class TestShiftEdges:
+    def test_no_congestion_no_moves(self):
+        tree = tree_with_steiner()
+        moves = shift_edges(tree, fresh_grid())
+        assert moves == 0
+
+    def test_unique_median_never_moves(self):
+        """Odd-degree Steiner nodes have a point median box: no freedom."""
+        grid = fresh_grid()
+        tree = tree_with_steiner()
+        steiner = next(n for n in tree.nodes if not n.is_pin)
+        x, y = steiner.point.x, steiner.point.y
+        for _ in range(8):
+            grid.add_wire_demand(1, max(x - 1, 0), y, min(x + 1, 15), y)
+        assert shift_edges(tree, grid) == 0
+
+    def test_moves_away_from_congestion(self):
+        grid = fresh_grid()
+        tree = tree_with_sliding_steiner()
+        steiner = tree.nodes[4]
+        # Saturate wires around the Steiner point's current location.
+        x, y = steiner.point.x, steiner.point.y
+        for _ in range(8):
+            grid.add_wire_demand(1, max(x - 1, 0), y, min(x + 1, 15), y)
+            grid.add_via_demand(x, y, 0, 4)
+        before = steiner.point
+        moves = shift_edges(tree, grid)
+        assert moves >= 1
+        assert steiner.point != before
+        assert 4 <= steiner.point.x <= 8 and steiner.point.y == 5
+
+    def test_tree_length_invariant(self):
+        grid = fresh_grid()
+        tree = tree_with_sliding_steiner()
+        for _ in range(8):
+            grid.add_wire_demand(1, 4, 5, 6, 5)
+        length_before = tree.length()
+        shift_edges(tree, grid)
+        assert tree.length() == length_before
+
+    def test_pins_never_move(self):
+        grid = fresh_grid()
+        tree = tree_with_steiner()
+        pins_before = {
+            n.index: n.point for n in tree.nodes if n.is_pin
+        }
+        for x in range(15):
+            for _ in range(8):
+                grid.add_wire_demand(1, x, 0, x + 1, 0)
+        shift_edges(tree, grid)
+        for node in tree.nodes:
+            if node.is_pin:
+                assert node.point == pins_before[node.index]
+
+    def test_tree_stays_valid(self):
+        grid = fresh_grid()
+        tree = tree_with_steiner()
+        shift_edges(tree, grid)
+        tree.validate()
+
+    def test_two_pin_tree_untouched(self):
+        tree = build_steiner_tree(Net("n", [Pin(0, 0, 0), Pin(9, 9, 0)]))
+        assert shift_edges(tree, fresh_grid()) == 0

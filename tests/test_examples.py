@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs and prints sane output."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "18test5", "0.1")
+        assert "score (Eq. 15)" in out
+        assert "all nets connected" in out
+
+    def test_custom_design(self):
+        out = run_example("custom_design.py")
+        assert "[ok]" in out
+        assert "DISCONNECTED" not in out
+        assert "Congestion map" in out
+
+    def test_gpu_speedup_study(self):
+        out = run_example("gpu_speedup_study.py", "18test5", "0.15", "60")
+        assert "cost mismatches: 0" in out
+        assert "batched L-shape kernels" in out
+
+    def test_sorting_study(self):
+        out = run_example("sorting_study.py", "18test5m", "0.1")
+        assert "hpwl_asc" in out
+        assert "Sorting schemes" in out
+
+    def test_detailed_routing_eval(self):
+        out = run_example("detailed_routing_eval.py", "18test5m", "0.1")
+        assert "DR shorts" in out
+        assert "fastgr_h" in out
+
+    def test_quickstart_rejects_bad_design(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py"), "nope"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode != 0

@@ -1,0 +1,121 @@
+"""Tests for repro.grid.geometry: Point, Rect, manhattan."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grid.geometry import Point, Rect, manhattan
+
+coords = st.integers(min_value=0, max_value=200)
+
+
+class TestPoint:
+    def test_iteration_unpacks_x_y(self):
+        x, y = Point(3, 7)
+        assert (x, y) == (3, 7)
+
+    def test_translated(self):
+        assert Point(2, 3).translated(-1, 4) == Point(1, 7)
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 9) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_equality_and_hash(self):
+        assert Point(4, 5) == Point(4, 5)
+        assert len({Point(4, 5), Point(4, 5)}) == 1
+
+
+class TestManhattan:
+    def test_simple(self):
+        assert manhattan(Point(0, 0), Point(3, 4)) == 7
+
+    def test_symmetric(self):
+        assert manhattan(Point(5, 1), Point(2, 9)) == manhattan(
+            Point(2, 9), Point(5, 1)
+        )
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c)
+
+    @given(coords, coords)
+    def test_identity(self, x, y):
+        assert manhattan(Point(x, y), Point(x, y)) == 0
+
+
+class TestRect:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 4, 0)
+        with pytest.raises(ValueError):
+            Rect(0, 5, 0, 4)
+
+    def test_bounding(self):
+        box = Rect.bounding([Point(3, 9), Point(1, 2), Point(7, 5)])
+        assert box == Rect(1, 2, 7, 9)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_width_height_hpwl_area(self):
+        box = Rect(2, 3, 5, 7)
+        assert box.width == 4
+        assert box.height == 5
+        assert box.hpwl == 7
+        assert box.area == 20
+
+    def test_point_rect_properties(self):
+        box = Rect(4, 4, 4, 4)
+        assert box.hpwl == 0
+        assert box.area == 1
+
+    def test_contains(self):
+        box = Rect(1, 1, 3, 3)
+        assert box.contains(Point(1, 3))
+        assert box.contains(Point(2, 2))
+        assert not box.contains(Point(0, 2))
+        assert not box.contains(Point(2, 4))
+
+    def test_overlap_shared_edge_counts(self):
+        # Closed rectangles: touching at a G-cell is a conflict.
+        assert Rect(0, 0, 2, 2).overlaps(Rect(2, 2, 4, 4))
+
+    def test_disjoint_does_not_overlap(self):
+        assert not Rect(0, 0, 2, 2).overlaps(Rect(3, 0, 5, 2))
+        assert not Rect(0, 0, 2, 2).overlaps(Rect(0, 3, 2, 5))
+
+    def test_containment_overlaps(self):
+        assert Rect(0, 0, 9, 9).overlaps(Rect(3, 3, 4, 4))
+        assert Rect(3, 3, 4, 4).overlaps(Rect(0, 0, 9, 9))
+
+    @given(coords, coords, coords, coords, coords, coords, coords, coords)
+    def test_overlap_is_symmetric(self, a, b, c, d, e, f, g, h):
+        r1 = Rect(min(a, c), min(b, d), max(a, c), max(b, d))
+        r2 = Rect(min(e, g), min(f, h), max(e, g), max(f, h))
+        assert r1.overlaps(r2) == r2.overlaps(r1)
+
+    @given(coords, coords, coords, coords)
+    def test_overlap_matches_bruteforce(self, a, b, c, d):
+        r1 = Rect(min(a, c), min(b, d), max(a, c), max(b, d))
+        r2 = Rect(2, 2, 6, 6)
+        brute = any(
+            r2.contains(Point(x, y))
+            for x in range(r1.xlo, r1.xhi + 1)
+            for y in range(r1.ylo, r1.yhi + 1)
+        )
+        # Brute force explodes for huge rects; clamp the domain.
+        if r1.area <= 50_000:
+            assert r1.overlaps(r2) == brute
+
+    def test_expanded_and_clipped(self):
+        box = Rect(2, 2, 4, 4).expanded(3)
+        assert box == Rect(-1, -1, 7, 7)
+        assert box.clipped(6, 6) == Rect(0, 0, 5, 5)
+
+    def test_as_tuple(self):
+        assert Rect(1, 2, 3, 4).as_tuple() == (1, 2, 3, 4)

@@ -1,0 +1,151 @@
+"""Tests for repro.grid.graph.GridGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.graph import GridGraph
+from repro.grid.layers import Direction, LayerStack
+
+
+class TestConstruction:
+    def test_wire_array_shapes(self, grid):
+        # Layer 0 is vertical: edges along y -> shape (nx, ny-1).
+        assert grid.wire_demand[0].shape == (12, 9)
+        # Layer 1 is horizontal: edges along x -> shape (nx-1, ny).
+        assert grid.wire_demand[1].shape == (11, 10)
+
+    def test_via_array_shape(self, grid):
+        assert grid.via_demand.shape == (4, 12, 10)
+
+    def test_uniform_capacity(self, grid):
+        for layer in range(grid.n_layers):
+            assert np.all(grid.wire_capacity[layer] == 4.0)
+        assert np.all(grid.via_capacity == 8.0)
+
+    def test_too_small_grid_raises(self, stack5):
+        with pytest.raises(ValueError):
+            GridGraph(1, 5, stack5)
+
+    def test_in_bounds(self, grid):
+        assert grid.in_bounds(0, 0)
+        assert grid.in_bounds(11, 9)
+        assert not grid.in_bounds(12, 0)
+        assert not grid.in_bounds(0, -1)
+
+
+class TestWireDemand:
+    def test_vertical_segment(self, grid):
+        grid.add_wire_demand(0, 3, 2, 3, 6)
+        assert np.sum(grid.wire_demand[0]) == 4.0
+        assert np.all(grid.wire_demand[0][3, 2:6] == 1.0)
+
+    def test_horizontal_segment(self, grid):
+        grid.add_wire_demand(1, 2, 5, 7, 5)
+        assert np.all(grid.wire_demand[1][2:7, 5] == 1.0)
+        assert np.sum(grid.wire_demand[1]) == 5.0
+
+    def test_reversed_endpoints_equivalent(self, grid):
+        grid.add_wire_demand(1, 7, 5, 2, 5)
+        assert np.all(grid.wire_demand[1][2:7, 5] == 1.0)
+
+    def test_zero_length_is_noop(self, grid):
+        grid.add_wire_demand(0, 3, 3, 3, 3)
+        assert np.sum(grid.wire_demand[0]) == 0.0
+
+    def test_wrong_direction_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.add_wire_demand(0, 2, 5, 7, 5)  # horizontal on V layer
+        with pytest.raises(ValueError):
+            grid.add_wire_demand(1, 3, 2, 3, 6)  # vertical on H layer
+
+    def test_off_grid_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.add_wire_demand(0, 3, 0, 3, 20)
+
+    def test_negative_amount_rips_up(self, grid):
+        grid.add_wire_demand(0, 3, 2, 3, 6)
+        grid.add_wire_demand(0, 3, 2, 3, 6, amount=-1.0)
+        assert np.sum(np.abs(grid.wire_demand[0])) == 0.0
+
+
+class TestViaDemand:
+    def test_stack(self, grid):
+        grid.add_via_demand(4, 4, 0, 3)
+        assert np.all(grid.via_demand[0:3, 4, 4] == 1.0)
+        assert grid.via_demand[3, 4, 4] == 0.0
+
+    def test_reversed_layers(self, grid):
+        grid.add_via_demand(4, 4, 3, 0)
+        assert np.all(grid.via_demand[0:3, 4, 4] == 1.0)
+
+    def test_same_layer_noop(self, grid):
+        grid.add_via_demand(4, 4, 2, 2)
+        assert np.sum(grid.via_demand) == 0.0
+
+    def test_out_of_stack_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.add_via_demand(4, 4, 0, 5)
+
+    def test_off_grid_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.add_via_demand(40, 4, 0, 1)
+
+
+class TestOverflow:
+    def test_no_overflow_when_under_capacity(self, grid):
+        grid.add_wire_demand(0, 3, 2, 3, 6)
+        assert grid.total_overflow() == 0.0
+        assert grid.overflowed_wire_edges() == 0
+
+    def test_wire_overflow_counts_excess(self, grid):
+        for _ in range(6):  # capacity is 4
+            grid.add_wire_demand(0, 3, 2, 3, 3)
+        assert grid.wire_overflow() == 2.0
+        assert grid.overflowed_wire_edges() == 1
+
+    def test_via_overflow(self, grid):
+        for _ in range(10):  # capacity is 8
+            grid.add_via_demand(2, 2, 1, 2)
+        assert grid.via_overflow() == 2.0
+
+    def test_total_is_sum(self, grid):
+        for _ in range(6):
+            grid.add_wire_demand(0, 3, 2, 3, 3)
+        for _ in range(10):
+            grid.add_via_demand(2, 2, 1, 2)
+        assert grid.total_overflow() == grid.wire_overflow() + grid.via_overflow()
+
+
+class TestSnapshot:
+    def test_snapshot_roundtrip(self, grid):
+        grid.add_wire_demand(0, 3, 2, 3, 6)
+        snap = grid.demand_snapshot()
+        grid.add_wire_demand(1, 2, 5, 7, 5)
+        grid.add_via_demand(1, 1, 0, 4)
+        grid.restore_demand(snap)
+        assert np.sum(grid.wire_demand[1]) == 0.0
+        assert np.sum(grid.via_demand) == 0.0
+        assert np.sum(grid.wire_demand[0]) == 4.0
+
+    def test_snapshot_is_deep(self, grid):
+        snap = grid.demand_snapshot()
+        grid.add_wire_demand(0, 3, 2, 3, 6)
+        wire, _via = snap
+        assert np.sum(wire[0]) == 0.0
+
+
+class TestCongestionProbe:
+    def test_congestion_of_rect_empty(self, grid):
+        assert grid.congestion_of_rect(0, 0, 5, 5) == 0.0
+
+    def test_congestion_of_rect_sees_demand(self, grid):
+        for _ in range(4):
+            grid.add_wire_demand(0, 3, 2, 3, 3)
+        assert grid.congestion_of_rect(2, 1, 4, 4) == pytest.approx(1.0)
+
+    def test_congestion_respects_region(self, grid):
+        for _ in range(4):
+            grid.add_wire_demand(0, 3, 2, 3, 3)
+        assert grid.congestion_of_rect(6, 6, 9, 9) == 0.0

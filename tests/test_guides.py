@@ -1,0 +1,119 @@
+"""Tests for routing-guide generation."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.core.router import GlobalRouter
+from repro.detail.guides import (
+    GuideRect,
+    guides_cover_route,
+    route_guides,
+    write_guides,
+)
+from repro.grid.graph import GridGraph
+from repro.grid.layers import LayerStack
+from repro.grid.route import Route, ViaSegment, WireSegment
+from repro.netlist.generator import DesignSpec, generate_design
+
+
+def grid():
+    return GridGraph(16, 16, LayerStack(5), wire_capacity=4.0)
+
+
+class TestRouteGuides:
+    def test_wire_becomes_expanded_rect(self):
+        route = Route(wires=[WireSegment(1, 2, 5, 9, 5)])
+        guides = route_guides(route, grid(), patch_margin=1)
+        assert len(guides) == 1
+        assert guides[0].layer == 1
+        assert guides[0].rect.as_tuple() == (1, 4, 10, 6)
+
+    def test_margin_clipped_at_boundary(self):
+        route = Route(wires=[WireSegment(1, 0, 0, 4, 0)])
+        guides = route_guides(route, grid(), patch_margin=2)
+        rect = guides[0].rect
+        assert rect.xlo == 0 and rect.ylo == 0
+
+    def test_via_covers_every_crossed_layer(self):
+        route = Route(vias=[ViaSegment(5, 5, 0, 3)])
+        guides = route_guides(route, grid(), patch_margin=0)
+        assert sorted(g.layer for g in guides) == [0, 1, 2, 3]
+
+    def test_zero_margin_exact(self):
+        route = Route(wires=[WireSegment(1, 2, 5, 9, 5)])
+        guides = route_guides(route, grid(), patch_margin=0)
+        assert guides[0].rect.as_tuple() == (2, 5, 9, 5)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            route_guides(Route(), grid(), patch_margin=-1)
+
+    def test_contained_rects_dropped(self):
+        route = Route(
+            wires=[WireSegment(1, 2, 5, 9, 5), WireSegment(1, 3, 5, 4, 5)]
+        )
+        guides = route_guides(route, grid(), patch_margin=1)
+        assert len(guides) == 1
+
+    def test_coverage_invariant(self):
+        route = Route(
+            wires=[WireSegment(1, 2, 5, 9, 5), WireSegment(0, 9, 5, 9, 9)],
+            vias=[ViaSegment(9, 5, 0, 1)],
+        )
+        guides = route_guides(route, grid(), patch_margin=0)
+        assert guides_cover_route(guides, route)
+
+    def test_missing_layer_not_covered(self):
+        from repro.grid.geometry import Rect
+
+        guides = [GuideRect(1, Rect(0, 0, 9, 9))]
+        route = Route(wires=[WireSegment(3, 0, 0, 3, 0)])
+        assert not guides_cover_route(guides, route)
+
+
+class TestFullFlowGuides:
+    def test_every_routed_net_is_covered(self):
+        design = generate_design(
+            DesignSpec(
+                name="guides-it", nx=20, ny=20, n_layers=5, n_nets=50,
+                wire_capacity=3.0, seed=17,
+            )
+        )
+        result = GlobalRouter(design, RouterConfig.fastgr_l()).run()
+        for name, route in result.routes.items():
+            guides = route_guides(route, design.graph)
+            assert guides_cover_route(guides, route), name
+
+    def test_write_guides_format(self):
+        design = generate_design(
+            DesignSpec(
+                name="guides-io", nx=16, ny=16, n_layers=5, n_nets=10,
+                wire_capacity=4.0, seed=3,
+            )
+        )
+        result = GlobalRouter(design, RouterConfig.fastgr_l()).run()
+        buffer = io.StringIO()
+        write_guides(result.routes, design.graph, buffer)
+        text = buffer.getvalue()
+        assert text.count("(") == design.n_nets
+        assert text.count(")") == design.n_nets
+        assert "M" in text  # layer names present
+        # Nets are listed sorted for determinism.
+        names = [line for line in text.splitlines() if line.startswith("net")]
+        assert names == sorted(names)
+
+    def test_write_guides_to_path(self, tmp_path):
+        design = generate_design(
+            DesignSpec(
+                name="guides-file", nx=16, ny=16, n_layers=5, n_nets=5,
+                wire_capacity=4.0, seed=3,
+            )
+        )
+        result = GlobalRouter(design, RouterConfig.fastgr_l()).run()
+        path = tmp_path / "out.guide"
+        write_guides(result.routes, design.graph, path)
+        assert path.read_text().count("(") == 5

@@ -1,0 +1,113 @@
+"""Tests for the text design format."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.netlist.generator import DesignSpec, generate_design
+from repro.netlist.io import DesignFormatError, read_design, reads_design, write_design
+
+SAMPLE = """
+# a comment
+design demo
+grid 16 12 5 V
+capacity wire 0 0
+capacity wire 1 6
+capacity via 10
+net alpha
+  pin 2 3 0
+  pin 10 11 1
+end
+net beta
+  pin 0 0 0
+  pin 15 11 2
+  pin 7 5 0
+end
+"""
+
+
+class TestRead:
+    def test_reads_sample(self):
+        design = reads_design(SAMPLE)
+        assert design.name == "demo"
+        assert design.graph.nx == 16 and design.graph.ny == 12
+        assert design.n_layers == 5
+        assert design.n_nets == 2
+        assert design.netlist.by_name("beta").n_pins == 3
+
+    def test_capacities_applied(self):
+        design = reads_design(SAMPLE)
+        assert np.all(design.graph.wire_capacity[0] == 0.0)
+        assert np.all(design.graph.wire_capacity[1] == 6.0)
+        assert np.all(design.graph.via_capacity == 10.0)
+
+    def test_unlisted_layer_keeps_default(self):
+        design = reads_design(SAMPLE)
+        assert np.all(design.graph.wire_capacity[2] == 8.0)
+
+    def test_comments_and_blank_lines_ignored(self):
+        design = reads_design("design d\n\n# hi\ngrid 8 8 3\n")
+        assert design.n_nets == 0
+
+    def test_default_first_direction_vertical(self):
+        design = reads_design("design d\ngrid 8 8 3\n")
+        assert not design.graph.stack.is_horizontal(0)
+
+    def test_errors(self):
+        cases = [
+            "grid 8 8",  # malformed grid
+            "design d\nnet a\npin 0 0 0\n",  # unterminated net
+            "design d\ngrid 8 8 3\npin 0 0 0\n",  # pin outside net
+            "design d\ngrid 8 8 3\nend\n",  # end outside net
+            "design d\ngrid 8 8 3\nnet a\nnet b\n",  # nested net
+            "design d\ncapacity wire 0 4\n",  # capacity before grid
+            "design d\ngrid 8 8 3\nbogus 1\n",  # unknown keyword
+            "design d\ngrid 8 8 3\nnet a\npin 99 0 0\nend\n",  # off-grid pin
+        ]
+        for text in cases:
+            with pytest.raises((DesignFormatError, ValueError)):
+                reads_design(text)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(DesignFormatError, match="line 3"):
+            reads_design("design d\ngrid 8 8 3\nbogus 1\n")
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_nets(self, tmp_path):
+        spec = DesignSpec(
+            name="io-test", nx=16, ny=16, n_layers=5, n_nets=25, seed=5, n_blockages=0
+        )
+        design = generate_design(spec)
+        path = tmp_path / "design.txt"
+        write_design(design, path)
+        loaded = read_design(path)
+        assert loaded.name == design.name
+        assert loaded.n_nets == design.n_nets
+        for a, b in zip(design.netlist, loaded.netlist):
+            assert a.name == b.name
+            assert a.pins == b.pins
+
+    def test_roundtrip_uniform_capacities(self, tmp_path):
+        spec = DesignSpec(
+            name="io-cap", nx=16, ny=16, n_layers=5, n_nets=5, seed=5, n_blockages=0
+        )
+        design = generate_design(spec)
+        buffer = io.StringIO()
+        write_design(design, buffer)
+        loaded = reads_design(buffer.getvalue())
+        for layer in range(design.n_layers):
+            assert np.allclose(
+                loaded.graph.wire_capacity[layer],
+                design.graph.wire_capacity[layer].mean(),
+            )
+
+    def test_write_to_stream(self):
+        design = reads_design(SAMPLE)
+        buffer = io.StringIO()
+        write_design(design, buffer)
+        assert "design demo" in buffer.getvalue()
+        assert buffer.getvalue().count("net ") == 2

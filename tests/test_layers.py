@@ -1,0 +1,52 @@
+"""Tests for repro.grid.layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.layers import Direction, LayerStack
+
+
+class TestDirection:
+    def test_other(self):
+        assert Direction.HORIZONTAL.other is Direction.VERTICAL
+        assert Direction.VERTICAL.other is Direction.HORIZONTAL
+
+    def test_values(self):
+        assert Direction("H") is Direction.HORIZONTAL
+        assert Direction("V") is Direction.VERTICAL
+
+
+class TestLayerStack:
+    def test_alternating_directions(self):
+        stack = LayerStack(5, Direction.VERTICAL)
+        dirs = [stack.direction(i).value for i in range(5)]
+        assert dirs == ["V", "H", "V", "H", "V"]
+
+    def test_first_direction_horizontal(self):
+        stack = LayerStack(4, Direction.HORIZONTAL)
+        assert stack.is_horizontal(0)
+        assert not stack.is_horizontal(1)
+
+    def test_len_and_n_layers(self):
+        stack = LayerStack(9)
+        assert len(stack) == 9
+        assert stack.n_layers == 9
+
+    def test_too_few_layers(self):
+        with pytest.raises(ValueError):
+            LayerStack(1)
+
+    def test_layers_in_direction_partition(self):
+        stack = LayerStack(7)
+        h = stack.layers_in_direction(Direction.HORIZONTAL)
+        v = stack.layers_in_direction(Direction.VERTICAL)
+        assert sorted(h + v) == list(range(7))
+        assert not set(h) & set(v)
+
+    def test_name(self):
+        assert LayerStack(3).name(0) == "M1"
+        assert LayerStack(3).name(2) == "M3"
+
+    def test_repr_contains_pattern(self):
+        assert "VHV" in repr(LayerStack(3, Direction.VERTICAL))

@@ -1,0 +1,88 @@
+"""Property-based tests for maze routing and the rip-up loop."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.graph import GridGraph
+from repro.grid.layers import LayerStack
+from repro.maze.router import MazeRouter
+from repro.netlist.net import Net, Pin
+
+GRID = 12
+
+
+def pins_strategy(max_pins=5):
+    return st.lists(
+        st.tuples(
+            st.integers(0, GRID - 1),
+            st.integers(0, GRID - 1),
+            st.integers(0, 2),
+        ),
+        min_size=2,
+        max_size=max_pins,
+    )
+
+
+def make_graph(demand_seed=None):
+    graph = GridGraph(GRID, GRID, LayerStack(5), wire_capacity=3.0)
+    if demand_seed is not None:
+        rng = np.random.default_rng(demand_seed)
+        for layer in range(graph.n_layers):
+            shape = graph.wire_demand[layer].shape
+            graph.wire_demand[layer][:] = rng.integers(0, 6, shape)
+        graph.via_demand[:] = rng.integers(0, 4, graph.via_demand.shape)
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(pins=pins_strategy(), demand_seed=st.integers(0, 200))
+def test_maze_routes_connect_random_nets(pins, demand_seed):
+    net = Net("prop", [Pin(*p) for p in pins])
+    graph = make_graph(demand_seed)
+    route = MazeRouter(graph, margin=GRID).route_net(net)
+    assert route.connects([p.as_node() for p in net.pins])
+
+
+@settings(max_examples=30, deadline=None)
+@given(pins=pins_strategy(max_pins=3), demand_seed=st.integers(0, 200))
+def test_maze_route_commits_legally(pins, demand_seed):
+    """Every maze route obeys preferred directions (commit validates)."""
+    net = Net("prop", [Pin(*p) for p in pins])
+    graph = make_graph(demand_seed)
+    route = MazeRouter(graph, margin=GRID).route_net(net)
+    route.commit(graph)
+    route.uncommit(graph)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    src=st.tuples(st.integers(0, GRID - 1), st.integers(0, GRID - 1)),
+    dst=st.tuples(st.integers(0, GRID - 1), st.integers(0, GRID - 1)),
+    demand_seed=st.integers(0, 200),
+)
+def test_maze_never_beaten_by_pattern(src, dst, demand_seed):
+    """Maze explores a superset of the pattern search space: for a
+    two-pin net its path cost is <= the L-shape DP optimum."""
+    from repro.pattern.batch import BatchPatternRouter
+    from repro.pattern.twopin import PatternMode, constant_mode
+
+    net = Net("prop", [Pin(src[0], src[1], 0), Pin(dst[0], dst[1], 0)])
+    graph = make_graph(demand_seed)
+    maze = MazeRouter(graph, margin=GRID)
+    route = maze.route_net(net)
+    query = maze.query
+    maze_cost = 0.0
+    for wire in route.wires:
+        maze_cost += query.wire_segment_cost(
+            wire.layer, wire.x1, wire.y1, wire.x2, wire.y2
+        )
+    for via in route.vias:
+        maze_cost += query.via_stack_cost(via.x, via.y, via.lo, via.hi)
+
+    pattern = BatchPatternRouter(graph, edge_shift=False)
+    job = pattern.make_job(net)
+    pattern.route_jobs([job], constant_mode(PatternMode.LSHAPE))
+    assert maze_cost <= job.total_cost + 1e-6

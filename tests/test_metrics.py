@@ -1,0 +1,72 @@
+"""Tests for quality metrics, the score, and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.metrics import ALPHA, BETA, GAMMA, RoutingMetrics, score
+from repro.eval.report import format_table
+from repro.grid.graph import GridGraph
+from repro.grid.layers import LayerStack
+from repro.grid.route import Route, ViaSegment, WireSegment
+
+
+class TestScore:
+    def test_paper_weights(self):
+        assert (ALPHA, BETA, GAMMA) == (0.5, 4.0, 500.0)
+
+    def test_formula(self):
+        assert score(1000, 100, 2) == pytest.approx(0.5 * 1000 + 4 * 100 + 500 * 2)
+
+    def test_custom_weights(self):
+        assert score(10, 10, 10, alpha=1, beta=1, gamma=1) == 30
+
+    def test_shorts_dominate(self):
+        # One short outweighs 100 vias (500 > 400): the paper's rationale
+        # for the quality-oriented FastGR_H.
+        assert score(0, 0, 1) > score(0, 100, 0)
+
+
+class TestRoutingMetrics:
+    def test_measure(self):
+        graph = GridGraph(10, 10, LayerStack(5), wire_capacity=1.0)
+        routes = {
+            "a": Route(
+                wires=[WireSegment(1, 0, 0, 5, 0)], vias=[ViaSegment(0, 0, 0, 1)]
+            ),
+            "b": Route(wires=[WireSegment(1, 0, 0, 5, 0)]),
+        }
+        for route in routes.values():
+            route.commit(graph)
+        metrics = RoutingMetrics.measure(routes, graph)
+        assert metrics.wirelength == 10
+        assert metrics.n_vias == 1
+        assert metrics.shorts == 5.0  # 5 edges at demand 2 vs capacity 1
+        assert metrics.score == score(10, 1, 5.0)
+
+    def test_as_dict_keys(self):
+        metrics = RoutingMetrics(10, 2, 0.0, score(10, 2, 0))
+        assert set(metrics.as_dict()) == {"wirelength", "vias", "shorts", "score"}
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["design", "time"], [["18test5", 1.234], ["19test9", 10.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "design" in lines[1]
+        assert "1.234" in text and "10.500" in text
+
+    def test_large_numbers_group_separated(self):
+        text = format_table(["x"], [[123456.0]])
+        assert "123,456" in text
+
+    def test_nan_renders_dash(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,84 @@
+"""Tests for intranet ordering (reverse-DFS two-pin decomposition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.net import Net, Pin
+from repro.tree.ordering import order_tree
+from repro.tree.steiner import build_steiner_tree
+
+
+def tree_of(points):
+    return build_steiner_tree(Net("n", [Pin(x, y, 0) for x, y in points]))
+
+
+class TestOrderTree:
+    def test_two_pin(self):
+        ordered = order_tree(tree_of([(0, 0), (5, 5)]))
+        assert ordered.n_two_pin_nets == 1
+        child, parent = ordered.two_pin_nets[0]
+        assert parent == ordered.root
+        assert child != ordered.root
+
+    def test_single_node(self):
+        ordered = order_tree(tree_of([(3, 3)]))
+        assert ordered.n_two_pin_nets == 0
+        assert ordered.root == 0
+
+    def test_bottom_up_property(self):
+        """Every child edge appears before its parent edge."""
+        ordered = order_tree(
+            tree_of([(0, 0), (9, 1), (3, 8), (7, 7), (1, 5), (4, 2)])
+        )
+        seen = set()
+        for child, parent in ordered.two_pin_nets:
+            for grandchild in ordered.children(child):
+                assert grandchild in seen, "child routed after its own child"
+            seen.add(child)
+
+    def test_every_non_root_appears_once_as_child(self):
+        tree = tree_of([(0, 0), (9, 1), (3, 8), (7, 7)])
+        ordered = order_tree(tree)
+        children = [c for c, _p in ordered.two_pin_nets]
+        assert sorted(children) == sorted(
+            i for i in range(tree.n_nodes) if i != ordered.root
+        )
+
+    def test_parent_pointers_consistent(self):
+        ordered = order_tree(tree_of([(0, 0), (9, 1), (3, 8), (7, 7)]))
+        for child, parent in ordered.two_pin_nets:
+            assert ordered.parent[child] == parent
+        assert ordered.parent[ordered.root] == -1
+
+    def test_depth_increases_from_root(self):
+        ordered = order_tree(tree_of([(0, 0), (9, 1), (3, 8), (7, 7)]))
+        assert ordered.depth[ordered.root] == 0
+        for child, parent in ordered.two_pin_nets:
+            assert ordered.depth[child] == ordered.depth[parent] + 1
+
+    def test_explicit_root(self):
+        tree = tree_of([(0, 0), (5, 5), (9, 9)])
+        ordered = order_tree(tree, root=0)
+        assert ordered.root == 0
+
+    def test_root_out_of_range(self):
+        with pytest.raises(ValueError):
+            order_tree(tree_of([(0, 0), (5, 5)]), root=99)
+
+    def test_default_root_is_pin(self):
+        tree = tree_of([(0, 0), (10, 0), (5, 5), (5, 9)])
+        ordered = order_tree(tree)
+        assert tree.nodes[ordered.root].is_pin
+
+    def test_heights_match_waves(self):
+        ordered = order_tree(tree_of([(0, 0), (9, 1), (3, 8), (7, 7), (1, 5)]))
+        heights = ordered.subtree_height()
+        for child, parent in ordered.two_pin_nets:
+            assert heights[parent] >= heights[child] + 1
+        leaves = [
+            n.index
+            for n in ordered.tree.nodes
+            if not ordered.children(n.index) and n.index != ordered.root
+        ]
+        assert all(heights[leaf] == 0 for leaf in leaves)

@@ -1,0 +1,118 @@
+"""Property-based tests on the pattern routers (hypothesis).
+
+Random nets on random grids: every router must produce connected,
+direction-legal routes whose cost the DP actually achieved, and the
+batched and scalar engines must agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.graph import GridGraph
+from repro.grid.layers import Direction, LayerStack
+from repro.netlist.net import Net, Pin
+from repro.pattern.batch import BatchPatternRouter
+from repro.pattern.commit import reconstruct_route
+from repro.pattern.cpu_reference import SequentialPatternRouter
+from repro.pattern.twopin import PatternMode, constant_mode
+
+GRID = 14
+
+
+def pins_strategy(max_pins=6, n_layers=5):
+    return st.lists(
+        st.tuples(
+            st.integers(0, GRID - 1),
+            st.integers(0, GRID - 1),
+            st.integers(0, min(2, n_layers - 1)),
+        ),
+        min_size=2,
+        max_size=max_pins,
+    )
+
+
+def make_graph(n_layers=5, first=Direction.VERTICAL, demand_seed=None):
+    graph = GridGraph(GRID, GRID, LayerStack(n_layers, first), wire_capacity=3.0)
+    if demand_seed is not None:
+        rng = np.random.default_rng(demand_seed)
+        for layer in range(n_layers):
+            shape = graph.wire_demand[layer].shape
+            graph.wire_demand[layer][:] = rng.integers(0, 5, shape)
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(pins=pins_strategy(), demand_seed=st.integers(0, 100))
+def test_lshape_routes_connect_random_nets(pins, demand_seed):
+    net = Net("prop", [Pin(*p) for p in pins])
+    graph = make_graph(demand_seed=demand_seed)
+    router = BatchPatternRouter(graph, edge_shift=False)
+    job = router.make_job(net)
+    router.route_jobs([job], constant_mode(PatternMode.LSHAPE))
+    route = reconstruct_route(job)
+    assert route.connects([p.as_node() for p in net.pins])
+    assert np.isfinite(job.total_cost)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pins=pins_strategy(max_pins=4), demand_seed=st.integers(0, 100))
+def test_hybrid_routes_connect_random_nets(pins, demand_seed):
+    net = Net("prop", [Pin(*p) for p in pins])
+    graph = make_graph(demand_seed=demand_seed)
+    router = BatchPatternRouter(graph, edge_shift=False)
+    job = router.make_job(net)
+    router.route_jobs([job], constant_mode(PatternMode.HYBRID))
+    route = reconstruct_route(job)
+    assert route.connects([p.as_node() for p in net.pins])
+
+
+@settings(max_examples=25, deadline=None)
+@given(pins=pins_strategy(max_pins=4), demand_seed=st.integers(0, 100))
+def test_hybrid_never_costs_more_than_lshape(pins, demand_seed):
+    """More candidates can only improve the optimum (Eq. 10 superset)."""
+    net = Net("prop", [Pin(*p) for p in pins])
+    graph = make_graph(demand_seed=demand_seed)
+    router = BatchPatternRouter(graph, edge_shift=False)
+    job_l = router.make_job(net)
+    router.route_jobs([job_l], constant_mode(PatternMode.LSHAPE))
+    job_h = router.make_job(net)
+    router.route_jobs([job_h], constant_mode(PatternMode.HYBRID))
+    assert job_h.total_cost <= job_l.total_cost + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(pins=pins_strategy(max_pins=4), demand_seed=st.integers(0, 50))
+def test_batch_and_scalar_agree_random(pins, demand_seed):
+    net = Net("prop", [Pin(*p) for p in pins])
+    g1 = make_graph(demand_seed=demand_seed)
+    g2 = make_graph(demand_seed=demand_seed)
+    batch = BatchPatternRouter(g1, edge_shift=False)
+    scalar = SequentialPatternRouter(g2, edge_shift=False)
+    job_b = batch.make_job(net)
+    job_s = scalar.make_job(net)
+    batch.route_jobs([job_b], constant_mode(PatternMode.HYBRID))
+    scalar.route_jobs([job_s], constant_mode(PatternMode.HYBRID))
+    assert job_b.total_cost == job_s.total_cost
+    assert job_b.root_interval == job_s.root_interval
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pins=pins_strategy(max_pins=4),
+    first=st.sampled_from([Direction.VERTICAL, Direction.HORIZONTAL]),
+    n_layers=st.sampled_from([3, 5, 9]),
+)
+def test_direction_legality_random_stacks(pins, first, n_layers):
+    pins = [(x, y, min(layer, n_layers - 1)) for x, y, layer in pins]
+    net = Net("prop", [Pin(*p) for p in pins])
+    graph = make_graph(n_layers=n_layers, first=first)
+    router = BatchPatternRouter(graph, edge_shift=False)
+    job = router.make_job(net)
+    router.route_jobs([job], constant_mode(PatternMode.LSHAPE))
+    route = reconstruct_route(job)
+    for wire in route.wires:
+        assert wire.is_horizontal == graph.stack.is_horizontal(wire.layer)
+    route.commit(graph)  # raises on any direction violation

@@ -1,0 +1,133 @@
+"""Tests for repro.grid.route: segments, via stacks, routes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.route import Route, ViaSegment, WireSegment
+
+
+class TestWireSegment:
+    def test_normalises_reversed_horizontal(self):
+        seg = WireSegment(1, 8, 3, 2, 3)
+        assert (seg.x1, seg.y1, seg.x2, seg.y2) == (2, 3, 8, 3)
+
+    def test_normalises_reversed_vertical(self):
+        seg = WireSegment(0, 4, 9, 4, 1)
+        assert (seg.x1, seg.y1, seg.x2, seg.y2) == (4, 1, 4, 9)
+
+    def test_diagonal_raises(self):
+        with pytest.raises(ValueError):
+            WireSegment(0, 0, 0, 3, 3)
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ValueError):
+            WireSegment(0, 2, 2, 2, 2)
+
+    def test_length(self):
+        assert WireSegment(1, 2, 3, 8, 3).length == 6
+        assert WireSegment(0, 4, 1, 4, 9).length == 8
+
+    def test_is_horizontal(self):
+        assert WireSegment(1, 2, 3, 8, 3).is_horizontal
+        assert not WireSegment(0, 4, 1, 4, 9).is_horizontal
+
+    def test_nodes_cover_inclusive_span(self):
+        seg = WireSegment(2, 1, 5, 4, 5)
+        assert list(seg.nodes()) == [(1, 5, 2), (2, 5, 2), (3, 5, 2), (4, 5, 2)]
+
+
+class TestViaSegment:
+    def test_normalises_reversed_layers(self):
+        via = ViaSegment(1, 1, 4, 2)
+        assert (via.lo, via.hi) == (2, 4)
+
+    def test_zero_height_raises(self):
+        with pytest.raises(ValueError):
+            ViaSegment(1, 1, 3, 3)
+
+    def test_n_vias(self):
+        assert ViaSegment(0, 0, 1, 4).n_vias == 3
+
+    def test_nodes(self):
+        assert list(ViaSegment(2, 3, 0, 2).nodes()) == [
+            (2, 3, 0),
+            (2, 3, 1),
+            (2, 3, 2),
+        ]
+
+
+class TestRoute:
+    def test_wirelength_and_vias(self):
+        route = Route(
+            wires=[WireSegment(1, 0, 0, 4, 0), WireSegment(0, 4, 0, 4, 3)],
+            vias=[ViaSegment(4, 0, 0, 1)],
+        )
+        assert route.wirelength == 7
+        assert route.n_vias == 1
+
+    def test_empty(self):
+        assert Route().is_empty()
+        assert not Route(vias=[ViaSegment(0, 0, 0, 1)]).is_empty()
+
+    def test_extend(self):
+        a = Route(wires=[WireSegment(1, 0, 0, 2, 0)])
+        b = Route(vias=[ViaSegment(2, 0, 0, 1)])
+        a.extend(b)
+        assert a.wirelength == 2 and a.n_vias == 1
+
+    def test_commit_uncommit_roundtrip(self, grid):
+        route = Route(
+            wires=[WireSegment(1, 0, 0, 4, 0), WireSegment(0, 4, 0, 4, 3)],
+            vias=[ViaSegment(4, 0, 0, 1)],
+        )
+        route.commit(grid)
+        assert np.sum(grid.wire_demand[1][0:4, 0]) == 4.0
+        assert np.sum(grid.via_demand[0]) == 1.0
+        route.uncommit(grid)
+        assert grid.total_overflow() == 0.0
+        for layer in range(grid.n_layers):
+            assert np.all(grid.wire_demand[layer] == 0.0)
+        assert np.all(grid.via_demand == 0.0)
+
+    def test_commit_wrong_direction_raises(self, grid):
+        route = Route(wires=[WireSegment(0, 0, 0, 4, 0)])  # H wire on V layer
+        with pytest.raises(ValueError):
+            route.commit(grid)
+
+    def test_nodes_union(self):
+        route = Route(
+            wires=[WireSegment(1, 0, 0, 2, 0)], vias=[ViaSegment(2, 0, 0, 1)]
+        )
+        assert route.nodes() == {(0, 0, 1), (1, 0, 1), (2, 0, 1), (2, 0, 0)}
+
+
+class TestConnects:
+    def test_connected_two_pin(self):
+        route = Route(
+            wires=[WireSegment(1, 0, 0, 3, 0), WireSegment(0, 3, 0, 3, 2)],
+            vias=[ViaSegment(0, 0, 0, 1), ViaSegment(3, 0, 0, 1)],
+        )
+        assert route.connects([(0, 0, 0), (3, 2, 0)])
+
+    def test_missing_pin_not_connected(self):
+        route = Route(wires=[WireSegment(1, 0, 0, 3, 0)])
+        assert not route.connects([(0, 0, 1), (5, 0, 1)])
+
+    def test_two_components_not_connected(self):
+        route = Route(
+            wires=[WireSegment(1, 0, 0, 1, 0), WireSegment(1, 5, 0, 6, 0)]
+        )
+        assert not route.connects([(0, 0, 1), (6, 0, 1)])
+
+    def test_single_pin_trivially_connected(self):
+        route = Route(vias=[ViaSegment(1, 1, 0, 1)])
+        assert route.connects([(1, 1, 0)])
+
+    def test_vias_provide_layer_connectivity(self):
+        route = Route(
+            wires=[WireSegment(1, 0, 0, 3, 0), WireSegment(3, 0, 0, 3, 0)],
+            vias=[ViaSegment(3, 0, 1, 3)],
+        )
+        assert route.connects([(0, 0, 1), (0, 0, 3)])

@@ -1,0 +1,63 @@
+"""Tests for the Internet-ordering sorting schemes (Table IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.net import Net, Pin
+from repro.sched.sorting import DEFAULT_SCHEME, SORTING_SCHEMES, sort_nets
+
+
+def net(name, pins):
+    return Net(name, [Pin(x, y, 0) for x, y in pins])
+
+
+NETS = [
+    net("wide", [(0, 0), (20, 1)]),  # hpwl 21, area 42, 2 pins
+    net("tall", [(5, 0), (5, 30)]),  # hpwl 30, area 31, 2 pins
+    net("fat", [(0, 0), (9, 9), (3, 3), (6, 2)]),  # hpwl 18, area 100, 4 pins
+    net("tiny", [(2, 2), (3, 3)]),  # hpwl 2, area 4, 2 pins
+]
+
+
+class TestSchemes:
+    def test_six_schemes_exist(self):
+        assert len(SORTING_SCHEMES) == 6
+        assert DEFAULT_SCHEME in SORTING_SCHEMES
+
+    def test_hpwl_ascending(self):
+        names = [n.name for n in sort_nets(NETS, "hpwl_asc")]
+        assert names == ["tiny", "fat", "wide", "tall"]
+
+    def test_hpwl_descending(self):
+        names = [n.name for n in sort_nets(NETS, "hpwl_desc")]
+        assert names == ["tall", "wide", "fat", "tiny"]
+
+    def test_pins_ascending_stable_by_name(self):
+        names = [n.name for n in sort_nets(NETS, "pins_asc")]
+        # Three 2-pin nets tie; the name tie-breaker orders them.
+        assert names == ["tall", "tiny", "wide", "fat"]
+
+    def test_pins_descending(self):
+        assert sort_nets(NETS, "pins_desc")[0].name == "fat"
+
+    def test_area_ascending(self):
+        names = [n.name for n in sort_nets(NETS, "area_asc")]
+        assert names == ["tiny", "tall", "wide", "fat"]
+
+    def test_area_descending(self):
+        assert sort_nets(NETS, "area_desc")[0].name == "fat"
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError):
+            sort_nets(NETS, "random")
+
+    def test_input_not_mutated(self):
+        original = [n.name for n in NETS]
+        sort_nets(NETS, "hpwl_desc")
+        assert [n.name for n in NETS] == original
+
+    def test_deterministic_tie_break(self):
+        ties = [net("b", [(0, 0), (1, 1)]), net("a", [(5, 5), (6, 6)])]
+        names = [n.name for n in sort_nets(ties, "hpwl_asc")]
+        assert names == ["a", "b"]

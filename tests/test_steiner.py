@@ -1,0 +1,116 @@
+"""Tests for Steiner tree construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.geometry import manhattan
+from repro.netlist.net import Net, Pin
+from repro.tree.steiner import SteinerTree, TreeNode, build_steiner_tree
+
+
+def net_from_points(points, layer=0):
+    return Net("n", [Pin(x, y, layer) for x, y in points])
+
+
+class TestBuild:
+    def test_two_pin_net(self):
+        tree = build_steiner_tree(net_from_points([(0, 0), (5, 3)]))
+        assert tree.n_nodes == 2
+        assert tree.length() == 8
+
+    def test_single_point_net(self):
+        tree = build_steiner_tree(net_from_points([(4, 4)]))
+        assert tree.n_nodes == 1
+        assert tree.length() == 0
+
+    def test_duplicate_points_merged(self):
+        net = Net("n", [Pin(2, 2, 0), Pin(2, 2, 3), Pin(5, 5, 0)])
+        tree = build_steiner_tree(net)
+        assert tree.n_nodes == 2
+        merged = [n for n in tree.nodes if n.point.x == 2]
+        assert merged[0].pin_layers == (0, 3)
+
+    def test_l_of_three_points_gets_steiner_point(self):
+        # Classic: 3 corner points; the median point saves length.
+        tree = build_steiner_tree(net_from_points([(0, 0), (4, 0), (0, 4)]))
+        mst_length = 8  # two edges of length 4
+        assert tree.length() <= mst_length
+
+    def test_t_shape_steiner_saving(self):
+        tree = build_steiner_tree(net_from_points([(0, 0), (10, 0), (5, 5)]))
+        # MST: (0,0)-(10,0) is 10, plus (5,5) to nearest is 10 -> total <= 20;
+        # with a Steiner point at (5,0) total is 15.
+        assert tree.length() == 15
+        steiner = [n for n in tree.nodes if not n.is_pin]
+        assert len(steiner) == 1
+        assert (steiner[0].point.x, steiner[0].point.y) == (5, 0)
+
+    def test_steinerize_never_longer_than_mst(self):
+        points = [(0, 0), (9, 1), (3, 8), (7, 7), (1, 5)]
+        with_steiner = build_steiner_tree(net_from_points(points))
+        without = build_steiner_tree(net_from_points(points), steinerize=False)
+        assert with_steiner.length() <= without.length()
+
+    def test_spans_all_pin_points(self):
+        points = [(0, 0), (9, 1), (3, 8), (7, 7)]
+        tree = build_steiner_tree(net_from_points(points))
+        tree_points = {(n.point.x, n.point.y) for n in tree.nodes}
+        assert set(points) <= tree_points
+
+
+class TestTreeStructure:
+    def test_validate_detects_cycle(self):
+        from repro.grid.geometry import Point
+
+        nodes = [TreeNode(i, Point(i, 0), ()) for i in range(3)]
+        tree = SteinerTree(nodes)
+        tree.add_edge(0, 1)
+        tree.add_edge(1, 2)
+        tree.add_edge(2, 0)
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_validate_detects_disconnection(self):
+        from repro.grid.geometry import Point
+
+        nodes = [TreeNode(i, Point(i, 0), ()) for i in range(4)]
+        tree = SteinerTree(nodes)
+        tree.add_edge(0, 1)
+        tree.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_edges_listed_once(self):
+        tree = build_steiner_tree(net_from_points([(0, 0), (3, 3), (6, 0)]))
+        edges = tree.edges()
+        assert len(edges) == tree.n_nodes - 1
+        assert len(set(edges)) == len(edges)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)),
+        min_size=1,
+        max_size=10,
+        unique=True,
+    )
+)
+def test_tree_properties_random(points):
+    """Property: valid tree, spans pins, length between RSMT/2 and MST."""
+    tree = build_steiner_tree(net_from_points(points))
+    tree.validate()
+    tree_points = {(n.point.x, n.point.y) for n in tree.nodes}
+    assert set(points) <= tree_points
+    # Upper bound: MST length (steinerisation can only shorten).
+    mst = build_steiner_tree(net_from_points(points), steinerize=False)
+    assert tree.length() <= mst.length()
+    # Lower bound: half the bounding-box perimeter (valid RSMT bound).
+    if len(points) >= 2:
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+        assert tree.length() >= hpwl / 2

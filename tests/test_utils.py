@@ -1,0 +1,111 @@
+"""Tests for utils: timers, union-find, deterministic RNG."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.rng import make_rng
+from repro.utils.timing import StageTimer, Stopwatch
+from repro.utils.unionfind import UnionFind
+
+
+class TestStopwatch:
+    def test_elapsed_grows(self):
+        watch = Stopwatch()
+        first = watch.elapsed()
+        time.sleep(0.002)
+        assert watch.elapsed() > first
+
+    def test_reset(self):
+        watch = Stopwatch()
+        time.sleep(0.002)
+        watch.reset()
+        assert watch.elapsed() < 0.002
+
+
+class TestStageTimer:
+    def test_stage_accumulates(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            time.sleep(0.002)
+        with timer.stage("a"):
+            time.sleep(0.002)
+        assert timer.total("a") >= 0.004
+
+    def test_unknown_stage_zero(self):
+        assert StageTimer().total("nothing") == 0.0
+
+    def test_add_and_grand_total(self):
+        timer = StageTimer()
+        timer.add("x", 1.5)
+        timer.add("y", 0.5)
+        assert timer.grand_total() == pytest.approx(2.0)
+        assert timer.totals() == {"x": 1.5, "y": 0.5}
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StageTimer().add("x", -1.0)
+
+    def test_stage_records_on_exception(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("risky"):
+                raise RuntimeError
+        assert timer.total("risky") >= 0.0
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(range(4))
+        assert uf.n_components() == 4
+        assert not uf.connected(0, 1)
+
+    def test_union_and_find(self):
+        uf = UnionFind(range(4))
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.union(1, 0)  # already merged
+        assert uf.n_components() == 3
+
+    def test_transitive(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("a")
+        assert len(uf) == 1
+
+    def test_arbitrary_hashables(self):
+        uf = UnionFind([(0, 0, 1), (2, 3, 4)])
+        uf.union((0, 0, 1), (2, 3, 4))
+        assert uf.connected((0, 0, 1), (2, 3, 4))
+
+    def test_contains(self):
+        uf = UnionFind(["x"])
+        assert "x" in uf
+        assert "y" not in uf
+
+
+class TestRng:
+    def test_integer_seed_reproducible(self):
+        assert make_rng(7).integers(0, 1000) == make_rng(7).integers(0, 1000)
+
+    def test_string_seed_reproducible(self):
+        a = make_rng("18test5").integers(0, 10**9)
+        b = make_rng("18test5").integers(0, 10**9)
+        assert a == b
+
+    def test_tuple_seed_reproducible(self):
+        a = make_rng(("18test5", 0)).integers(0, 10**9)
+        b = make_rng(("18test5", 0)).integers(0, 10**9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        streams = {int(make_rng(("x", i)).integers(0, 10**12)) for i in range(20)}
+        assert len(streams) == 20
