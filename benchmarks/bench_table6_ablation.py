@@ -29,10 +29,15 @@ def build_rows():
     for design in DESIGNS:
         selected = routed(design, RouterConfig.fastgr_h())
         unselected = routed(design, RouterConfig.fastgr_h_no_selection())
-        # The selection technique targets the hybrid (Z-shape) kernel —
-        # compare its element count, not the shared combine kernel's.
-        work_sel = selected.device_stats.get("elements_zshape", 0.0)
-        work_all = unselected.device_stats.get("elements_zshape", 0.0)
+        # The selection technique targets the candidate-enumeration
+        # kernels (hybrid for selected nets, zshape otherwise) — compare
+        # their element counts, not the shared combine kernel's.
+        work_sel = selected.device_stats.get(
+            "elements_hybrid", 0.0
+        ) + selected.device_stats.get("elements_zshape", 0.0)
+        work_all = unselected.device_stats.get(
+            "elements_hybrid", 0.0
+        ) + unselected.device_stats.get("elements_zshape", 0.0)
         ratio = work_all / work_sel if work_sel else 0.0
         work_ratios.append(ratio)
         rows.append(

@@ -1,0 +1,31 @@
+"""Pluggable array backends for the min-plus pattern kernels.
+
+The kernels (:mod:`repro.pattern.kernels`), the wave drivers
+(:mod:`repro.pattern.lshape` / ``zshape`` / ``hybrid``) and the
+prefix-sum cost gathers (:mod:`repro.grid.cost`) are written once
+against the :class:`ArrayBackend` protocol and run unchanged on every
+registered backend:
+
+* ``numpy`` — dense vectorised host execution (the default);
+* ``python`` — pure-scalar reference, one element at a time (the
+  sequential-CPU baseline and cross-backend bit-identity oracle);
+* ``cupy`` — CUDA execution, auto-registered only when importable.
+
+Select a backend with ``RouterConfig(backend=...)`` or the CLI's
+``--backend`` flag; register new ones with :func:`register_backend`.
+"""
+
+from repro.backend.base import Array, ArrayBackend
+from repro.backend.registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "Array",
+    "ArrayBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

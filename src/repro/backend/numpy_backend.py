@@ -1,0 +1,136 @@
+"""NumPy implementation of the :class:`ArrayBackend` protocol.
+
+This is the default substrate: host and device coincide, ``asarray``
+and ``to_numpy`` are (near-)identities, and every op maps to one or two
+vectorised NumPy calls.  It defines the reference semantics the other
+backends must match bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+_DTYPES = {"float": float, "int": np.intp, "bool": bool}
+
+
+class NumpyBackend(ArrayBackend):
+    """Dense vectorised execution on the host CPU via NumPy."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------ #
+    # Construction / transfer
+    # ------------------------------------------------------------------ #
+    def asarray(self, data: Any, dtype: str = "float") -> np.ndarray:
+        return np.asarray(data, dtype=_DTYPES[dtype])
+
+    def to_numpy(self, a: np.ndarray) -> np.ndarray:
+        return np.asarray(a)
+
+    def full(self, shape: Sequence[int], value: float) -> np.ndarray:
+        return np.full(tuple(shape), value, dtype=float)
+
+    def zeros(self, shape: Sequence[int], dtype: str = "float") -> np.ndarray:
+        return np.zeros(tuple(shape), dtype=_DTYPES[dtype])
+
+    def arange(self, n: int) -> np.ndarray:
+        return np.arange(n, dtype=np.intp)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise
+    # ------------------------------------------------------------------ #
+    def add(self, a, b):
+        return np.add(a, b)
+
+    def subtract(self, a, b):
+        return np.subtract(a, b)
+
+    def minimum(self, a, b):
+        return np.minimum(a, b)
+
+    def maximum(self, a, b):
+        return np.maximum(a, b)
+
+    def abs(self, a):
+        return np.abs(a)
+
+    def where(self, cond, a, b):
+        return np.where(cond, a, b)
+
+    def less(self, a, b):
+        return np.less(a, b)
+
+    def less_equal(self, a, b):
+        return np.less_equal(a, b)
+
+    def greater_equal(self, a, b):
+        return np.greater_equal(a, b)
+
+    def logical_and(self, a, b):
+        return np.logical_and(a, b)
+
+    def isfinite(self, a):
+        return np.isfinite(a)
+
+    def astype(self, a, dtype: str):
+        return np.asarray(a).astype(_DTYPES[dtype])
+
+    def floor_divide(self, a, k: int):
+        return np.asarray(a) // k
+
+    def mod(self, a, k: int):
+        return np.asarray(a) % k
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+    def expand_dims(self, a, axis: int):
+        return np.expand_dims(a, axis)
+
+    def reshape(self, a, shape: Sequence[int]):
+        return np.reshape(a, tuple(shape))
+
+    def shape(self, a) -> Tuple[int, ...]:
+        return np.shape(a)
+
+    # ------------------------------------------------------------------ #
+    # Reductions / scans
+    # ------------------------------------------------------------------ #
+    def min_argmin(self, a, axis: int):
+        a = np.asarray(a)
+        arg = a.argmin(axis=axis)
+        values = np.take_along_axis(a, np.expand_dims(arg, axis), axis=axis)
+        return np.squeeze(values, axis=axis), arg
+
+    def cumsum(self, a, axis: int):
+        return np.cumsum(a, axis=axis)
+
+    def cummin(self, a, axis: int):
+        return np.minimum.accumulate(a, axis=axis)
+
+    # ------------------------------------------------------------------ #
+    # Gather / scatter
+    # ------------------------------------------------------------------ #
+    def scatter_add(self, target, index, source) -> None:
+        np.add.at(target, np.asarray(index, dtype=np.intp), source)
+
+    def select_rows(self, a, idx):
+        a = np.asarray(a)
+        picked = np.take_along_axis(a, np.asarray(idx)[:, None, :], axis=1)
+        return picked[:, 0, :]
+
+    def gather_pairs(self, a, i, j):
+        a = np.asarray(a)
+        batch = np.arange(a.shape[0])[:, None]
+        return a[batch, np.asarray(i), np.asarray(j)]
+
+    def gather_points(self, a, x, y):
+        a = np.asarray(a)
+        return a[:, np.asarray(x, dtype=np.intp), np.asarray(y, dtype=np.intp)].T
+
+
+__all__ = ["NumpyBackend"]

@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from repro.backend import available_backends
 from repro.core.config import RouterConfig
 from repro.core.router import GlobalRouter
 from repro.netlist.benchmarks import BENCHMARKS, benchmark_names, load_benchmark
@@ -48,14 +49,18 @@ def _load(source: str, scale: float) -> Design:
 
 def _cmd_route(args: argparse.Namespace) -> int:
     design = _load(args.design, args.scale)
-    config = _PRESETS[args.config]()
+    overrides = {}
     if args.iterations is not None:
-        config = _PRESETS[args.config](n_rrr_iterations=args.iterations)
+        overrides["n_rrr_iterations"] = args.iterations
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    config = _PRESETS[args.config](**overrides)
     result = GlobalRouter(design, config).run()
 
     print(f"design        : {result.design_name} ({design.n_nets} nets, "
           f"{design.graph.nx}x{design.graph.ny}x{design.n_layers})")
     print(f"router        : {result.config_name}")
+    print(f"backend       : {config.backend}")
     print(f"pattern stage : {result.pattern_time:.3f} s")
     print(f"maze stage    : {result.maze_time:.3f} s (modelled parallel; "
           f"sequential {result.maze_time_sequential:.3f} s)")
@@ -122,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="benchmark scale factor (default 0.25)")
     route.add_argument("--iterations", type=int, default=None,
                        help="override the number of RRR iterations")
+    route.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="array backend for the pattern kernels "
+        "(default: the preset's choice)",
+    )
     route.add_argument("--guides", default=None, metavar="FILE",
                        help="write routing guides for detailed routing")
     route.set_defaults(func=_cmd_route)

@@ -29,6 +29,11 @@ class RouterConfig:
     name: str = "fastgr_l"
     pattern_engine: str = "batch"  # "batch" (GPU kernels) | "sequential" (CPU)
     pattern_shape: str = "lshape"  # "lshape" | "hybrid" | "zshape"
+    # Array substrate for the pattern kernels: any registered backend
+    # ("numpy", "python", "cupy" where available).  All backends are
+    # bit-identical by construction, so this changes *where* the DP
+    # runs, never what it routes.
+    backend: str = "numpy"
     use_selection: bool = True
     # Selection thresholds: values >= 1 are absolute two-pin HPWL bounds;
     # values in (0, 1) scale with the grid half-perimeter (the paper's
@@ -54,6 +59,13 @@ class RouterConfig:
             raise ValueError(f"unknown pattern shape {self.pattern_shape!r}")
         if self.rrr_parallel not in ("taskgraph", "batch"):
             raise ValueError(f"unknown RRR strategy {self.rrr_parallel!r}")
+        from repro.backend import available_backends
+
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown array backend {self.backend!r}; available: "
+                f"{', '.join(available_backends())}"
+            )
         if self.t1 > self.t2:
             raise ValueError("selection thresholds must satisfy t1 <= t2")
         if self.n_rrr_iterations < 0:
@@ -64,11 +76,12 @@ class RouterConfig:
     # ------------------------------------------------------------------ #
     @staticmethod
     def cugr(**overrides: object) -> "RouterConfig":
-        """The CUGR-style baseline (sequential CPU pattern routing)."""
+        """The CUGR-style baseline (sequential scalar CPU pattern routing)."""
         config = RouterConfig(
             name="cugr",
             pattern_engine="sequential",
             pattern_shape="lshape",
+            backend="python",
             rrr_parallel="batch",
         )
         return replace(config, **overrides) if overrides else config

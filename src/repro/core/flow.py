@@ -57,10 +57,17 @@ def run_pattern_stage(
             arena=arena,
             edge_shift=config.edge_shift,
             max_chunk_elements=config.max_chunk_elements,
+            backend=config.backend,
         )
     else:
         engine = SequentialPatternRouter(
-            graph, config.cost_model, edge_shift=config.edge_shift
+            graph,
+            config.cost_model,
+            device=device,
+            arena=arena,
+            edge_shift=config.edge_shift,
+            max_chunk_elements=config.max_chunk_elements,
+            backend=config.backend,
         )
 
     routes: Dict[str, Route] = {}

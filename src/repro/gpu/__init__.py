@@ -5,9 +5,12 @@ available here, so this package provides the *platform model* the
 reproduction substitutes (DESIGN.md Sec. 2):
 
 * kernels are expressed exactly as the paper's computation-graph flows
-  (dense vector/matrix min-plus operations) and executed with NumPy —
-  the same data-parallel formulation, lock-step over all candidates;
-* :class:`~repro.gpu.device.Device` records every kernel launch
+  (dense vector/matrix min-plus operations) against the pluggable
+  :mod:`repro.backend` layer — the same data-parallel formulation,
+  lock-step over all candidates, on whichever substrate is selected;
+* :class:`~repro.gpu.instrument.InstrumentedBackend` decorates any
+  backend to count element work per kernel scope, and
+  :class:`~repro.gpu.device.Device` records every kernel launch
   (grid/block geometry, element counts) and integrates an analytic
   timing model so "GPU time" and the equivalent sequential time are
   both available for the speedup tables;
@@ -16,7 +19,14 @@ reproduction substitutes (DESIGN.md Sec. 2):
 """
 
 from repro.gpu.device import Device, DeviceSpec
+from repro.gpu.instrument import InstrumentedBackend
 from repro.gpu.simt import KernelLaunch
 from repro.gpu.zerocopy import ZeroCopyArena
 
-__all__ = ["Device", "DeviceSpec", "KernelLaunch", "ZeroCopyArena"]
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "InstrumentedBackend",
+    "KernelLaunch",
+    "ZeroCopyArena",
+]

@@ -56,6 +56,16 @@ class Device:
         self.launches.append(record)
         return self._kernel_time(record)
 
+    def wrap(self, backend):
+        """Decorate ``backend`` so its ops are metered into this device.
+
+        Returns an :class:`~repro.gpu.instrument.InstrumentedBackend`;
+        use its ``kernel(...)`` scope to flush op tallies as launches.
+        """
+        from repro.gpu.instrument import InstrumentedBackend
+
+        return InstrumentedBackend(backend, self)
+
     def _kernel_time(self, launch: KernelLaunch) -> float:
         lanes = self.spec.parallel_lanes
         steps = -(-launch.elements // lanes)  # ceil division

@@ -1,0 +1,182 @@
+"""Backend decorator that meters element work into a :class:`Device`.
+
+The op-counting/timing model used to live inside the pattern engines as
+hand-derived ``elements = ...`` formulas next to every launch.  It is
+now a *decorator over the array backend*: :class:`InstrumentedBackend`
+wraps any :class:`ArrayBackend`, forwards every op to the inner backend
+unchanged, and tallies how many scalar operations a lock-step SIMT
+machine would execute for it.  A ``kernel(...)`` scope brackets a batch
+of ops and flushes the tally as one :meth:`Device.launch`::
+
+    backend = device.wrap(get_backend("numpy"))
+    with backend.kernel("lshape", n_blocks=len(tasks), threads_per_block=L * L):
+        values, args = minplus_two_bend(..., xp=backend)
+
+Counting rules (per op, in scalar element steps):
+
+* elementwise / comparison / ``where`` / ``astype`` / ``floor_divide``
+  / ``mod`` and the gathers count their **output** size — one lane per
+  output element;
+* reductions and scans (``min_argmin``, ``cumsum``, ``cummin``) and
+  ``scatter_add`` count their **input/source** size — every input
+  element is touched once;
+* construction, shape and transfer ops (``asarray``, ``to_numpy``,
+  ``full``, ``zeros``, ``arange``, ``expand_dims``, ``reshape``,
+  ``shape``) count zero — they are layout/transfer, not compute, and
+  transfers are accounted separately by the :class:`ZeroCopyArena`.
+
+Work performed outside any ``kernel`` scope (for example the cost
+model's prefix-sum rebuild) accumulates in ``unattributed_elements``
+and is never turned into a launch record.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator, Sequence, Tuple
+
+from repro.backend.base import ArrayBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import Device
+
+
+class InstrumentedBackend(ArrayBackend):
+    """Forwarding wrapper around a backend that meters element work."""
+
+    def __init__(self, inner: ArrayBackend, device: "Device") -> None:
+        self.inner = inner
+        self.device = device
+        self.name = f"{inner.name}+instrumented"
+        self._counter = 0
+        self._flushed = 0
+
+    # ------------------------------------------------------------------ #
+    # Metering
+    # ------------------------------------------------------------------ #
+    def _count(self, array: Any) -> Any:
+        self._counter += math.prod(self.inner.shape(array))
+        return array
+
+    @property
+    def unattributed_elements(self) -> int:
+        """Element work performed outside any ``kernel`` scope so far."""
+        return self._counter - self._flushed
+
+    @contextmanager
+    def kernel(self, name: str, n_blocks: int, threads_per_block: int) -> Iterator[None]:
+        """Bracket a batch of ops and flush their tally as one launch."""
+        start = self._counter
+        try:
+            yield
+        finally:
+            elements = self._counter - start
+            self._flushed += elements
+            self.device.launch(name, n_blocks, threads_per_block, elements)
+
+    # ------------------------------------------------------------------ #
+    # Construction / transfer — zero cost
+    # ------------------------------------------------------------------ #
+    def asarray(self, data: Any, dtype: str = "float"):
+        return self.inner.asarray(data, dtype)
+
+    def to_numpy(self, a):
+        return self.inner.to_numpy(a)
+
+    def full(self, shape: Sequence[int], value: float):
+        return self.inner.full(shape, value)
+
+    def zeros(self, shape: Sequence[int], dtype: str = "float"):
+        return self.inner.zeros(shape, dtype)
+
+    def arange(self, n: int):
+        return self.inner.arange(n)
+
+    def expand_dims(self, a, axis: int):
+        return self.inner.expand_dims(a, axis)
+
+    def reshape(self, a, shape: Sequence[int]):
+        return self.inner.reshape(a, shape)
+
+    def shape(self, a) -> Tuple[int, ...]:
+        return self.inner.shape(a)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise — count output size
+    # ------------------------------------------------------------------ #
+    def add(self, a, b):
+        return self._count(self.inner.add(a, b))
+
+    def subtract(self, a, b):
+        return self._count(self.inner.subtract(a, b))
+
+    def minimum(self, a, b):
+        return self._count(self.inner.minimum(a, b))
+
+    def maximum(self, a, b):
+        return self._count(self.inner.maximum(a, b))
+
+    def abs(self, a):
+        return self._count(self.inner.abs(a))
+
+    def where(self, cond, a, b):
+        return self._count(self.inner.where(cond, a, b))
+
+    def less(self, a, b):
+        return self._count(self.inner.less(a, b))
+
+    def less_equal(self, a, b):
+        return self._count(self.inner.less_equal(a, b))
+
+    def greater_equal(self, a, b):
+        return self._count(self.inner.greater_equal(a, b))
+
+    def logical_and(self, a, b):
+        return self._count(self.inner.logical_and(a, b))
+
+    def isfinite(self, a):
+        return self._count(self.inner.isfinite(a))
+
+    def astype(self, a, dtype: str):
+        return self._count(self.inner.astype(a, dtype))
+
+    def floor_divide(self, a, k: int):
+        return self._count(self.inner.floor_divide(a, k))
+
+    def mod(self, a, k: int):
+        return self._count(self.inner.mod(a, k))
+
+    # ------------------------------------------------------------------ #
+    # Reductions / scans — count input size
+    # ------------------------------------------------------------------ #
+    def min_argmin(self, a, axis: int):
+        self._counter += math.prod(self.inner.shape(a))
+        return self.inner.min_argmin(a, axis)
+
+    def cumsum(self, a, axis: int):
+        self._counter += math.prod(self.inner.shape(a))
+        return self.inner.cumsum(a, axis)
+
+    def cummin(self, a, axis: int):
+        self._counter += math.prod(self.inner.shape(a))
+        return self.inner.cummin(a, axis)
+
+    # ------------------------------------------------------------------ #
+    # Gather / scatter
+    # ------------------------------------------------------------------ #
+    def scatter_add(self, target, index, source) -> None:
+        self._counter += math.prod(self.inner.shape(source))
+        self.inner.scatter_add(target, index, source)
+
+    def select_rows(self, a, idx):
+        return self._count(self.inner.select_rows(a, idx))
+
+    def gather_pairs(self, a, i, j):
+        return self._count(self.inner.gather_pairs(a, i, j))
+
+    def gather_points(self, a, x, y):
+        return self._count(self.inner.gather_points(a, x, y))
+
+
+__all__ = ["InstrumentedBackend"]

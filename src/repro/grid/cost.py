@@ -5,7 +5,7 @@ Instead :class:`CostQuery` materialises, per layer, the cost of every
 wire edge under the current demand, builds prefix sums along each
 layer's preferred direction, and answers *whole-segment* costs with two
 array lookups.  Batched variants gather the costs of thousands of
-candidate segments (across all layers) in a handful of NumPy
+candidate segments (across all layers) in a handful of array-backend
 operations — this is exactly what lets the paper's L/Z-shape dynamic
 programs run as dense vector/matrix min-plus flows on the simulated GPU.
 
@@ -19,15 +19,24 @@ Cost scheme (after CUGR [3], Sec. III-D of the paper):
 The logistic term reproduces CUGR's probabilistic resource model near
 capacity; the linear term keeps every *additional* overflow expensive so
 the routers do not treat saturated edges as free.
+
+Backend split: edge *costs* (which involve ``exp``) are always computed
+host-side with NumPy — transcendentals are the one place different
+substrates could diverge by ULPs, so every backend consumes the same
+float64 edge costs.  The prefix sums and batched gathers then run on
+the configured :class:`~repro.backend.ArrayBackend` (``rebuild`` is the
+host-to-device upload; batched queries return backend arrays), which is
+why identical routing falls out of every backend bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.grid.graph import GridGraph
 
 
@@ -69,58 +78,78 @@ class CostQuery:
     :meth:`rebuild`.  The pattern stage rebuilds once per scheduler batch
     (in-batch nets do not conflict, so frozen costs are exact); the maze
     stage rebuilds per rerouted net.
+
+    ``backend`` selects the array substrate for the prefix sums and the
+    batched queries; scalar queries and the raw ``wire_cost``/``via_cost``
+    arrays (which the maze router reads directly) always stay host-side
+    NumPy.  Batched queries return backend arrays — callers own the
+    ``to_numpy`` boundary.
     """
 
-    def __init__(self, graph: GridGraph, model: CostModel) -> None:
+    def __init__(
+        self,
+        graph: GridGraph,
+        model: CostModel,
+        backend: Optional[ArrayBackend] = None,
+    ) -> None:
         self.graph = graph
         self.model = model
+        self.backend = backend if backend is not None else get_backend("numpy")
         self.n_layers = graph.n_layers
-        self._h_layers = np.array(
-            [l for l in range(self.n_layers) if graph.stack.is_horizontal(l)], dtype=int
+        h_allowed = np.array(
+            [graph.stack.is_horizontal(l) for l in range(self.n_layers)], dtype=bool
         )
-        self._v_layers = np.array(
-            [l for l in range(self.n_layers) if not graph.stack.is_horizontal(l)],
-            dtype=int,
-        )
-        self._h_index = {int(l): i for i, l in enumerate(self._h_layers)}
-        self._v_index = {int(l): i for i, l in enumerate(self._v_layers)}
+        self._h_allowed = h_allowed
+        self._v_allowed = ~h_allowed
         self.wire_cost: List[np.ndarray] = []
         self.via_cost = np.empty(0)
-        self._h_prefix = np.empty(0)  # (Lh, nx, ny), cumulative along x
-        self._v_prefix = np.empty(0)  # (Lv, nx, ny), cumulative along y
-        self._via_prefix = np.empty(0)  # (L, nx, ny), cumulative along layer
+        self._h_prefix = np.empty(0)  # host (L, nx, ny), cumulative along x
+        self._v_prefix = np.empty(0)  # host (L, nx, ny), cumulative along y
+        self._via_prefix = np.empty(0)  # host (L, nx, ny), cumulative along layer
+        self._h_prefix_dev = None  # device twins of the three tables
+        self._v_prefix_dev = None
+        self._via_prefix_dev = None
         self.rebuild()
 
     # ------------------------------------------------------------------ #
     # Snapshot construction
     # ------------------------------------------------------------------ #
     def rebuild(self) -> None:
-        """Recompute all edge costs and prefix sums from current demand."""
-        graph, model = self.graph, self.model
+        """Recompute all edge costs and prefix sums from current demand.
+
+        Edge costs are computed host-side (see module docstring), then
+        uploaded; the prefix scans run on the backend so the snapshot
+        lives where the kernels will gather from it.
+        """
+        graph, model, xp = self.graph, self.model, self.backend
         nx, ny, n_layers = graph.nx, graph.ny, self.n_layers
         self.wire_cost = [
             model.wire_edge_costs(graph, layer) for layer in range(n_layers)
         ]
         self.via_cost = model.via_edge_costs(graph)
 
-        h_prefix = np.zeros((len(self._h_layers), nx, ny))
-        for i, layer in enumerate(self._h_layers):
-            # wire_cost[layer] has shape (nx-1, ny); prefix over x.
-            np.cumsum(self.wire_cost[layer], axis=0, out=h_prefix[i, 1:, :])
-        self._h_prefix = h_prefix
+        # Full-(L, nx, ny) edge layout: row/column 0 pads the exclusive
+        # prefix, layers of the wrong direction stay all-zero and are
+        # masked out at query time by _h_allowed/_v_allowed.
+        h_edge = np.zeros((n_layers, nx, ny))
+        v_edge = np.zeros((n_layers, nx, ny))
+        for layer in range(n_layers):
+            if self._h_allowed[layer]:
+                h_edge[layer, 1:, :] = self.wire_cost[layer]  # (nx-1, ny)
+            else:
+                v_edge[layer, :, 1:] = self.wire_cost[layer]  # (nx, ny-1)
+        via_edge = np.zeros((n_layers, nx, ny))
+        via_edge[1:] = self.via_cost
 
-        v_prefix = np.zeros((len(self._v_layers), nx, ny))
-        for i, layer in enumerate(self._v_layers):
-            # wire_cost[layer] has shape (nx, ny-1); prefix over y.
-            np.cumsum(self.wire_cost[layer], axis=1, out=v_prefix[i, :, 1:])
-        self._v_prefix = v_prefix
-
-        via_prefix = np.zeros((n_layers, nx, ny))
-        np.cumsum(self.via_cost, axis=0, out=via_prefix[1:, :, :])
-        self._via_prefix = via_prefix
+        self._h_prefix_dev = xp.cumsum(xp.asarray(h_edge), axis=1)
+        self._v_prefix_dev = xp.cumsum(xp.asarray(v_edge), axis=2)
+        self._via_prefix_dev = xp.cumsum(xp.asarray(via_edge), axis=0)
+        self._h_prefix = xp.to_numpy(self._h_prefix_dev)
+        self._v_prefix = xp.to_numpy(self._v_prefix_dev)
+        self._via_prefix = xp.to_numpy(self._via_prefix_dev)
 
     # ------------------------------------------------------------------ #
-    # Scalar queries
+    # Scalar queries (host side)
     # ------------------------------------------------------------------ #
     def wire_segment_cost(self, layer: int, x1: int, y1: int, x2: int, y2: int) -> float:
         """Return the cost of a straight segment on ``layer``.
@@ -135,11 +164,9 @@ class CostQuery:
             return float("inf")
         if horizontal:
             lo, hi = sorted((x1, x2))
-            idx = self._h_index[layer]
-            return float(self._h_prefix[idx, hi, y1] - self._h_prefix[idx, lo, y1])
+            return float(self._h_prefix[layer, hi, y1] - self._h_prefix[layer, lo, y1])
         lo, hi = sorted((y1, y2))
-        idx = self._v_index[layer]
-        return float(self._v_prefix[idx, x1, hi] - self._v_prefix[idx, x1, lo])
+        return float(self._v_prefix[layer, x1, hi] - self._v_prefix[layer, x1, lo])
 
     def via_stack_cost(self, x: int, y: int, lo: int, hi: int) -> float:
         """Return the cost of a via stack spanning layers ``lo``..``hi``."""
@@ -148,15 +175,9 @@ class CostQuery:
         return float(self._via_prefix[hi, x, y] - self._via_prefix[lo, x, y])
 
     # ------------------------------------------------------------------ #
-    # Batched queries (the GPU gather primitives)
+    # Batched queries (the GPU gather primitives; return backend arrays)
     # ------------------------------------------------------------------ #
-    def segment_cost_layers(
-        self,
-        x1: np.ndarray,
-        y1: np.ndarray,
-        x2: np.ndarray,
-        y2: np.ndarray,
-    ) -> np.ndarray:
+    def segment_cost_layers(self, x1, y1, x2, y2):
         """Return a ``(B, L)`` matrix of per-layer costs for ``B`` segments.
 
         Each segment must be axis-aligned (or degenerate).  Entries for
@@ -164,43 +185,37 @@ class CostQuery:
         ``inf``; degenerate segments cost 0 on every layer (no wire needed,
         any layer may carry the point).
         """
+        xp = self.backend
         x1 = np.asarray(x1, dtype=int)
         y1 = np.asarray(y1, dtype=int)
         x2 = np.asarray(x2, dtype=int)
         y2 = np.asarray(y2, dtype=int)
         if not (x1.shape == y1.shape == x2.shape == y2.shape):
             raise ValueError("segment coordinate arrays must share a shape")
-        diag = (x1 != x2) & (y1 != y2)
-        if np.any(diag):
+        if np.any((x1 != x2) & (y1 != y2)):
             raise ValueError("segments must be axis-aligned")
-        n = x1.shape[0]
-        out = np.full((n, self.n_layers), np.inf)
 
         degenerate = (x1 == x2) & (y1 == y2)
-        out[degenerate, :] = 0.0
-
         horizontal = (y1 == y2) & ~degenerate
-        if np.any(horizontal) and len(self._h_layers):
-            idx = np.nonzero(horizontal)[0]
-            lo = np.minimum(x1[idx], x2[idx])
-            hi = np.maximum(x1[idx], x2[idx])
-            vals = (
-                self._h_prefix[:, hi, y1[idx]] - self._h_prefix[:, lo, y1[idx]]
-            )  # (Lh, n_h)
-            out[np.ix_(idx, self._h_layers)] = vals.T
-
         vertical = (x1 == x2) & ~degenerate
-        if np.any(vertical) and len(self._v_layers):
-            idx = np.nonzero(vertical)[0]
-            lo = np.minimum(y1[idx], y2[idx])
-            hi = np.maximum(y1[idx], y2[idx])
-            vals = (
-                self._v_prefix[:, x1[idx], hi] - self._v_prefix[:, x1[idx], lo]
-            )  # (Lv, n_v)
-            out[np.ix_(idx, self._v_layers)] = vals.T
-        return out
 
-    def via_prefix_at(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # Gather both orientations for every segment, then select; the
+        # wasted gather is what keeps the flow branch-free (lock-step
+        # lanes on the device do the same).
+        h_hi = xp.gather_points(self._h_prefix_dev, np.maximum(x1, x2), y1)
+        h_lo = xp.gather_points(self._h_prefix_dev, np.minimum(x1, x2), y1)
+        v_hi = xp.gather_points(self._v_prefix_dev, x1, np.maximum(y1, y2))
+        v_lo = xp.gather_points(self._v_prefix_dev, x1, np.minimum(y1, y2))
+        h_cost = xp.subtract(h_hi, h_lo)  # (B, L)
+        v_cost = xp.subtract(v_hi, v_lo)  # (B, L)
+
+        h_sel = horizontal[:, None] & self._h_allowed[None, :]
+        v_sel = vertical[:, None] & self._v_allowed[None, :]
+        out = xp.where(xp.asarray(h_sel, dtype="bool"), h_cost, float("inf"))
+        out = xp.where(xp.asarray(v_sel, dtype="bool"), v_cost, out)
+        return xp.where(xp.asarray(degenerate[:, None], dtype="bool"), 0.0, out)
+
+    def via_prefix_at(self, x, y):
         """Return ``(B, L)`` cumulative via costs at each 2-D point.
 
         ``result[b, l]`` is the cost of the via stack from layer 0 up to
@@ -208,16 +223,17 @@ class CostQuery:
         columns.  This is the primitive behind both the via matrices of
         Eq. 6/12/13 and the via-interval DP that combines children costs.
         """
-        x = np.asarray(x, dtype=int)
-        y = np.asarray(y, dtype=int)
-        return self._via_prefix[:, x, y].T  # (B, L)
+        return self.backend.gather_points(
+            self._via_prefix_dev, np.asarray(x, dtype=int), np.asarray(y, dtype=int)
+        )
 
-    def via_matrix(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    def via_matrix(self, x, y):
         """Return ``(B, L, L)`` via-stack costs between every layer pair.
 
         ``result[b, i, j] = cv(point_b, i, j)`` — the cost of the vias
         needed to move from layer ``i`` to layer ``j`` at point ``b``
         (0 when ``i == j``).
         """
+        xp = self.backend
         prefix = self.via_prefix_at(x, y)  # (B, L)
-        return np.abs(prefix[:, :, None] - prefix[:, None, :])
+        return xp.abs(xp.subtract(xp.expand_dims(prefix, 2), xp.expand_dims(prefix, 1)))

@@ -16,6 +16,7 @@ from repro.pattern.kernels import (
 from repro.pattern.twopin import PatternMode, TwoPinTask, build_waves
 from repro.pattern.batch import BatchPatternRouter
 from repro.pattern.cpu_reference import SequentialPatternRouter
+from repro.pattern.hybrid import hybrid_candidates, route_hybrid_wave
 
 __all__ = [
     "interval_min",
@@ -28,4 +29,6 @@ __all__ = [
     "build_waves",
     "BatchPatternRouter",
     "SequentialPatternRouter",
+    "hybrid_candidates",
+    "route_hybrid_wave",
 ]

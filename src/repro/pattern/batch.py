@@ -8,21 +8,28 @@ invocation sequence for a conflict-free batch of multi-pin nets:
 2. freeze edge costs (a :class:`~repro.grid.cost.CostQuery` snapshot —
    exact, because in-batch nets have disjoint bounding boxes);
 3. evaluate the two-pin nets wave by wave: per wave one ``combine``
-   kernel (Eq. 2) and one L-shape and/or Z-shape kernel (Eq. 7/14);
+   kernel (Eq. 2) and one L/Z/hybrid kernel (Eq. 7/14);
 4. reconstruct routes, commit their demand.
 
-The simulated :class:`~repro.gpu.device.Device` records every launch so
-benchmarks can report kernel-level speedups; the
+The array substrate is pluggable: ``backend`` selects any registered
+:class:`~repro.backend.ArrayBackend` (``"numpy"`` by default,
+``"python"`` for the sequential scalar baseline, ``"cupy"`` on CUDA
+machines).  The chosen backend is wrapped by
+:meth:`~repro.gpu.device.Device.wrap`, so every array op inside a
+kernel scope is metered into the simulated device's launch records —
+benchmarks report kernel-level speedups from the *actual* op stream,
+not hand-derived element formulas.  The
 :class:`~repro.gpu.zerocopy.ZeroCopyArena` accounts for the cost/result
 traffic the zero-copy technique streams.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.grid.cost import CostModel, CostQuery
 from repro.grid.graph import GridGraph
 from repro.grid.route import Route
@@ -30,6 +37,7 @@ from repro.gpu.device import Device
 from repro.gpu.zerocopy import ZeroCopyArena
 from repro.netlist.net import Net
 from repro.pattern.commit import reconstruct_route
+from repro.pattern.hybrid import route_hybrid_wave
 from repro.pattern.kernels import combine_children
 from repro.pattern.lshape import route_lshape_wave
 from repro.pattern.twopin import (
@@ -55,11 +63,15 @@ class BatchPatternRouter:
         arena: Optional[ZeroCopyArena] = None,
         edge_shift: bool = True,
         max_chunk_elements: int = 150_000,
+        backend: Union[str, ArrayBackend] = "numpy",
     ) -> None:
         self.graph = graph
         self.cost_model = cost_model or CostModel()
-        self.query = CostQuery(graph, self.cost_model)
         self.device = device or Device()
+        base = get_backend(backend) if isinstance(backend, str) else backend
+        self.backend_name = base.name
+        self.backend = self.device.wrap(base)
+        self.query = CostQuery(graph, self.cost_model, backend=self.backend)
         self.arena = arena or ZeroCopyArena()
         self.edge_shift = edge_shift
         self.max_chunk_elements = max_chunk_elements
@@ -98,22 +110,28 @@ class BatchPatternRouter:
                 jobs, [(t.job_index, t.child) for t in wave]
             )
             l_rows = [i for i, t in enumerate(wave) if t.mode is PatternMode.LSHAPE]
-            z_rows = [i for i, t in enumerate(wave) if t.mode is not PatternMode.LSHAPE]
+            z_rows = [i for i, t in enumerate(wave) if t.mode is PatternMode.ZSHAPE]
+            h_rows = [i for i, t in enumerate(wave) if t.mode is PatternMode.HYBRID]
             if l_rows:
                 tasks = [wave[i] for i in l_rows]
-                values, backtracks, elements = route_lshape_wave(
-                    tasks, combine[l_rows], self.query
-                )
-                self.device.launch("lshape", len(tasks), n_layers * n_layers, elements)
+                with self.backend.kernel("lshape", len(tasks), n_layers * n_layers):
+                    values, backtracks = route_lshape_wave(
+                        tasks, combine[l_rows], self.query
+                    )
                 self._store_edge_results(jobs, tasks, values, backtracks)
             if z_rows:
                 tasks = [wave[i] for i in z_rows]
-                values, backtracks, elements = route_zshape_wave(
-                    tasks, combine[z_rows], self.query, self.max_chunk_elements
-                )
-                self.device.launch(
-                    "zshape", len(tasks), n_layers * n_layers * n_layers, elements
-                )
+                with self.backend.kernel("zshape", len(tasks), n_layers**3):
+                    values, backtracks = route_zshape_wave(
+                        tasks, combine[z_rows], self.query, self.max_chunk_elements
+                    )
+                self._store_edge_results(jobs, tasks, values, backtracks)
+            if h_rows:
+                tasks = [wave[i] for i in h_rows]
+                with self.backend.kernel("hybrid", len(tasks), n_layers**3):
+                    values, backtracks = route_hybrid_wave(
+                        tasks, combine[h_rows], self.query, self.max_chunk_elements
+                    )
                 self._store_edge_results(jobs, tasks, values, backtracks)
         self._root_phase(jobs)
 
@@ -131,6 +149,7 @@ class BatchPatternRouter:
         n_layers = self.graph.n_layers
         if not nodes:
             return np.zeros((0, n_layers))
+        xp = self.backend
         child_rows: List[np.ndarray] = []
         child_node_index: List[int] = []
         xs: List[int] = []
@@ -152,18 +171,20 @@ class BatchPatternRouter:
         child_costs = (
             np.vstack(child_rows) if child_rows else np.zeros((0, n_layers))
         )
-        via_prefix = self.query.via_prefix_at(np.array(xs), np.array(ys))
-        combine, lo_choice, hi_choice = combine_children(
-            child_costs,
-            np.array(child_node_index, dtype=int),
-            len(nodes),
-            via_prefix,
-            np.array(pin_lo, dtype=int),
-            np.array(pin_hi, dtype=int),
-        )
-        self.device.launch(
-            "combine", len(nodes), n_layers * n_layers, len(nodes) * n_layers**4
-        )
+        with xp.kernel("combine", len(nodes), n_layers * n_layers):
+            via_prefix = self.query.via_prefix_at(np.array(xs), np.array(ys))
+            combine, lo_choice, hi_choice = combine_children(
+                child_costs,
+                np.array(child_node_index, dtype=int),
+                len(nodes),
+                via_prefix,
+                np.array(pin_lo, dtype=int),
+                np.array(pin_hi, dtype=int),
+                xp=xp,
+            )
+            combine = xp.to_numpy(combine)
+            lo_choice = xp.to_numpy(lo_choice)
+            hi_choice = xp.to_numpy(hi_choice)
         for b, (job_index, node) in enumerate(nodes):
             jobs[job_index].combine_store[node] = (lo_choice[b], hi_choice[b])
         return combine

@@ -1,235 +1,65 @@
-"""Sequential scalar pattern routing — the CPU baseline.
+"""Sequential pattern routing — the CPU baseline.
 
 This is the algorithm the paper's GPU kernels are measured against
 (Table VIII: "9.324x speedup over the sequential algorithm on CPU"):
-the same 3-D L/Z/hybrid dynamic programs, evaluated one two-pin net at
-a time with plain Python loops over layer combinations.
+the same 3-D L/Z/hybrid dynamic programs, evaluated one net at a time
+on the pure-scalar ``python`` array backend — every kernel op one
+element at a time with plain Python floats.
 
-It doubles as the *test oracle*: tie-breaking in every argmin matches
-the batched kernels exactly (first minimum in the same enumeration
-order), so for identical inputs both implementations must produce
-identical cost vectors, argmins, and final routes — a property the
-test suite asserts.
+It is a thin driver over :class:`~repro.pattern.batch.BatchPatternRouter`:
+the DP itself lives in the shared kernels, which run unchanged on every
+:class:`~repro.backend.ArrayBackend`.  All backend ops are
+fixed-association IEEE-754 double add/compare with first-minimum
+tie-breaking, so this router and the batched NumPy router must produce
+*bit-identical* cost vectors, argmins, and routes — the equivalence
+suite asserts exactly that, which is far stronger evidence than the
+hand-written scalar DP this module used to carry.
+
+Per-net sequencing is exact, not an approximation: costs are frozen per
+batch and jobs are independent under a frozen snapshot, and the INF
+masking of padded candidates means batch shapes cannot change winners.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Union
 
-import numpy as np
-
-from repro.grid.cost import CostModel, CostQuery
+from repro.backend import ArrayBackend
+from repro.grid.cost import CostModel
 from repro.grid.graph import GridGraph
-from repro.grid.route import Route
-from repro.netlist.net import Net
-from repro.pattern.commit import reconstruct_route
-from repro.pattern.twopin import (
-    EdgeBacktrack,
-    ModeSelector,
-    NetRoutingJob,
-    PatternMode,
-    TwoPinTask,
-)
-from repro.pattern.zshape import zshape_candidates
-from repro.tree.edge_shifting import shift_edges
-from repro.tree.ordering import order_tree
-from repro.tree.steiner import build_steiner_tree
-
-_UNREACHABLE = 1e18  # mirrors the kernels' finite stand-in for inf sums
+from repro.gpu.device import Device
+from repro.gpu.zerocopy import ZeroCopyArena
+from repro.pattern.batch import BatchPatternRouter
+from repro.pattern.twopin import ModeSelector, NetRoutingJob
 
 
-class SequentialPatternRouter:
-    """Net-by-net, layer-pair-by-layer-pair pattern routing on the CPU."""
+class SequentialPatternRouter(BatchPatternRouter):
+    """Net-by-net pattern routing on the scalar ``python`` backend."""
 
     def __init__(
         self,
         graph: GridGraph,
         cost_model: Optional[CostModel] = None,
         edge_shift: bool = True,
+        device: Optional[Device] = None,
+        arena: Optional[ZeroCopyArena] = None,
+        max_chunk_elements: int = 150_000,
+        backend: Union[str, ArrayBackend] = "python",
     ) -> None:
-        self.graph = graph
-        self.cost_model = cost_model or CostModel()
-        self.query = CostQuery(graph, self.cost_model)
-        self.edge_shift = edge_shift
-
-    # ------------------------------------------------------------------ #
-    # Public API (mirrors BatchPatternRouter)
-    # ------------------------------------------------------------------ #
-    def make_job(self, net: Net) -> NetRoutingJob:
-        """Plan one net: Steiner tree, edge shifting, intranet order."""
-        tree = build_steiner_tree(net)
-        if self.edge_shift:
-            shift_edges(tree, self.graph)
-        return NetRoutingJob(net, tree, order_tree(tree))
-
-    def route_batch(self, nets: List[Net], mode_fn: ModeSelector) -> Dict[str, Route]:
-        """Route nets one after another; commit demand; return routes."""
-        self.query.rebuild()
-        jobs = [self.make_job(net) for net in nets]
-        self.route_jobs(jobs, mode_fn)
-        routes: Dict[str, Route] = {}
-        for job in jobs:
-            route = reconstruct_route(job)
-            route.commit(self.graph)
-            routes[job.net.name] = route
-        return routes
+        super().__init__(
+            graph,
+            cost_model=cost_model,
+            device=device,
+            arena=arena,
+            edge_shift=edge_shift,
+            max_chunk_elements=max_chunk_elements,
+            backend=backend,
+        )
 
     def route_jobs(self, jobs: List[NetRoutingJob], mode_fn: ModeSelector) -> None:
-        """Fill every job's DP state sequentially (no batching)."""
+        """Fill every job's DP state one net at a time (no batching)."""
         for job in jobs:
-            self._route_one(job, mode_fn)
-
-    # ------------------------------------------------------------------ #
-    # Per-net dynamic program
-    # ------------------------------------------------------------------ #
-    def _route_one(self, job: NetRoutingJob, mode_fn: ModeSelector) -> None:
-        n_layers = self.graph.n_layers
-        for child, parent in job.ordered.two_pin_nets:
-            src = job.tree.nodes[child].point
-            dst = job.tree.nodes[parent].point
-            combine = self._combine(job, child)
-            task = TwoPinTask(0, child, parent, src, dst, mode_fn(src, dst))
-            if task.mode is PatternMode.LSHAPE:
-                values, state = self._lshape(task, combine)
-            else:
-                values, state = self._zshape(task, combine)
-            job.node_vectors[child] = values
-            job.edge_store[child] = state
-
-        if job.ordered.n_two_pin_nets > 0:
-            root = job.ordered.root
-            combine = self._combine(job, root)
-            best_ls = min(range(n_layers), key=lambda ls: combine[ls])
-            lo_choice, hi_choice = job.combine_store[root]
-            job.root_interval = (int(lo_choice[best_ls]), int(hi_choice[best_ls]))
-            job.total_cost = float(combine[best_ls])
-        else:
-            lo, hi = job.pin_range(job.ordered.root, n_layers)
-            if hi < 0:
-                lo, hi = 0, 0
-            job.root_interval = (min(lo, hi), max(lo, hi))
-            point = job.tree.nodes[job.ordered.root].point
-            job.total_cost = self.query.via_stack_cost(
-                point.x, point.y, job.root_interval[0], job.root_interval[1]
-            )
-
-    def _combine(self, job: NetRoutingJob, node: int) -> np.ndarray:
-        """Scalar Eq. 2: interval-enumerated bottom-children cost."""
-        n_layers = self.graph.n_layers
-        point = job.tree.nodes[node].point
-        pin_lo, pin_hi = job.pin_range(node, n_layers)
-        child_vectors = [
-            job.node_vectors[g] for g in job.ordered.children(node)
-        ]
-        best = np.full(n_layers, np.inf)
-        lo_choice = np.zeros(n_layers, dtype=int)
-        hi_choice = np.zeros(n_layers, dtype=int)
-        for ls in range(n_layers):
-            need_lo = min(ls, pin_lo)
-            need_hi = max(ls, pin_hi)
-            for lo in range(0, need_lo + 1):
-                for hi in range(need_hi, n_layers):
-                    # Sum children first, then add the via stack — the same
-                    # floating-point association as the batched kernel, so
-                    # tie-breaking is bit-identical.
-                    children_total = 0.0
-                    for vector in child_vectors:
-                        minimum = float(min(vector[lo : hi + 1]))
-                        children_total += (
-                            minimum if math.isfinite(minimum) else _UNREACHABLE
-                        )
-                    cost = (
-                        self.query.via_stack_cost(point.x, point.y, lo, hi)
-                        + children_total
-                    )
-                    if cost < best[ls]:
-                        best[ls] = cost
-                        lo_choice[ls] = lo
-                        hi_choice[ls] = hi
-        job.combine_store[node] = (lo_choice, hi_choice)
-        return best
-
-    def _lshape(
-        self, task: TwoPinTask, combine: np.ndarray
-    ) -> Tuple[np.ndarray, EdgeBacktrack]:
-        """Scalar Eq. 1/3: both bends, all (ls, lt) pairs, one at a time."""
-        n_layers = self.graph.n_layers
-        query = self.query
-        src, dst = task.src, task.dst
-        bends = ((dst.x, src.y), (src.x, dst.y))
-        values = np.full(n_layers, np.inf)
-        bend_choice = np.zeros(n_layers, dtype=int)
-        arg_ls = np.zeros(n_layers, dtype=int)
-        for lt in range(n_layers):
-            for bend_idx, (bx, by) in enumerate(bends):
-                for ls in range(n_layers):
-                    # Association mirrors the batched kernel:
-                    # (combine + seg1) + (via + seg2).
-                    w1 = combine[ls] + query.wire_segment_cost(
-                        ls, src.x, src.y, bx, by
-                    )
-                    w2 = query.via_stack_cost(
-                        bx, by, min(ls, lt), max(ls, lt)
-                    ) + query.wire_segment_cost(lt, bx, by, dst.x, dst.y)
-                    cost = w1 + w2
-                    if cost < values[lt]:
-                        values[lt] = cost
-                        bend_choice[lt] = bend_idx
-                        arg_ls[lt] = ls
-        state = EdgeBacktrack(
-            mode=PatternMode.LSHAPE, arg_ls=arg_ls, bend_choice=bend_choice
-        )
-        return values, state
-
-    def _zshape(
-        self, task: TwoPinTask, combine: np.ndarray
-    ) -> Tuple[np.ndarray, EdgeBacktrack]:
-        """Scalar Eq. 8/9/10: every candidate flow, every layer triple."""
-        n_layers = self.graph.n_layers
-        query = self.query
-        src, dst = task.src, task.dst
-        geometry = zshape_candidates(task)
-        values = np.full(n_layers, np.inf)
-        cand = np.zeros(n_layers, dtype=int)
-        arg_lb = np.zeros(n_layers, dtype=int)
-        arg_ls = np.zeros(n_layers, dtype=int)
-        for lt in range(n_layers):
-            for c in range(geometry.shape[0]):
-                bsx, bsy, btx, bty = (int(v) for v in geometry[c])
-                last = query.wire_segment_cost(lt, btx, bty, dst.x, dst.y)
-                if math.isinf(last):
-                    continue
-                for lb in range(n_layers):
-                    mid = query.wire_segment_cost(lb, bsx, bsy, btx, bty)
-                    if math.isinf(mid):
-                        continue
-                    via_t = query.via_stack_cost(btx, bty, min(lb, lt), max(lb, lt))
-                    mat3 = via_t + last
-                    for ls in range(n_layers):
-                        # Association mirrors zshape_reduce:
-                        # ((combine+seg1) + (via_s+mid)) + (via_t+last).
-                        w1 = combine[ls] + query.wire_segment_cost(
-                            ls, src.x, src.y, bsx, bsy
-                        )
-                        mat2 = (
-                            query.via_stack_cost(bsx, bsy, min(ls, lb), max(ls, lb))
-                            + mid
-                        )
-                        cost = (w1 + mat2) + mat3
-                        if cost < values[lt]:
-                            values[lt] = cost
-                            cand[lt] = c
-                            arg_lb[lt] = lb
-                            arg_ls[lt] = ls
-        state = EdgeBacktrack(
-            mode=task.mode,
-            arg_ls=arg_ls,
-            cand=cand,
-            arg_lb=arg_lb,
-            cand_geometry=geometry,
-        )
-        return values, state
+            super().route_jobs([job], mode_fn)
 
 
 __all__ = ["SequentialPatternRouter"]

@@ -1,0 +1,58 @@
+"""GPU-friendly 3-D hybrid-shape pattern routing (Sec. III-F, Fig. 11).
+
+The hybrid shape unifies Z and L: on top of the pure-Z enumeration it
+lets the target bend ``Bt`` coincide with the bounding-box corners (the
+VHV extreme rows the pure Z pattern drops), so every L path is also a
+hybrid candidate — ``M + N`` flows in total.  The flows themselves are
+the Z computation graph (Eq. 11–14); only the enumeration differs, so
+the wave driver is :func:`~repro.pattern.zshape.route_candidate_wave`
+with :func:`hybrid_candidates` plugged in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.grid.cost import CostQuery
+from repro.pattern.twopin import EdgeBacktrack, TwoPinTask
+from repro.pattern.zshape import route_candidate_wave
+
+
+def hybrid_candidates(task: TwoPinTask) -> np.ndarray:
+    """Enumerate hybrid candidate bend-point pairs as a ``(C, 4)`` int array.
+
+    Rows are ``(bs_x, bs_y, bt_x, bt_y)``: the full HVH family over all
+    ``M`` bounding-box columns plus the full VHV family over all ``N``
+    rows — ``M + N`` flows (Fig. 11), the extreme ones degenerating
+    into the two L shapes.
+    """
+    xs, ys, xt, yt = task.src.x, task.src.y, task.dst.x, task.dst.y
+    xlo, xhi = sorted((xs, xt))
+    ylo, yhi = sorted((ys, yt))
+    rows: List[Tuple[int, int, int, int]] = []
+    for bx in range(xlo, xhi + 1):
+        rows.append((bx, ys, bx, yt))
+    for by in range(ylo, yhi + 1):
+        rows.append((xs, by, xt, by))
+    return np.array(rows, dtype=int)
+
+
+def route_hybrid_wave(
+    tasks: List[TwoPinTask],
+    combine: np.ndarray,
+    query: CostQuery,
+    max_chunk_elements: int = 150_000,
+) -> Tuple[np.ndarray, List[EdgeBacktrack]]:
+    """Price a wave of hybrid-shape two-pin nets.
+
+    Returns ``(values, backtracks)`` exactly like
+    :func:`repro.pattern.lshape.route_lshape_wave`.
+    """
+    return route_candidate_wave(
+        tasks, combine, query, hybrid_candidates, max_chunk_elements
+    )
+
+
+__all__ = ["hybrid_candidates", "route_hybrid_wave"]

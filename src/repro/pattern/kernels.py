@@ -14,41 +14,60 @@ tree objects — mirroring what the CUDA kernels compute on device:
 All kernels carry batch dimensions so one call covers every two-pin net
 of a wave (lock-step lanes on the simulated device); all return argmins
 for path reconstruction.
+
+The kernels are written once against the :class:`ArrayBackend`
+protocol and run unchanged on every registered backend — pass ``xp``
+to choose one (default: the ``numpy`` backend).  Inputs may be host
+arrays or backend arrays; outputs are backend arrays, so callers own
+the ``to_numpy`` boundary.  Every op is a fixed-association IEEE-754
+double add/subtract/compare, so all backends produce bit-identical
+costs and argmins (see :mod:`repro.backend.base`).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
-import numpy as np
+from repro.backend import ArrayBackend, get_backend
 
-INF = np.inf
+INF = float("inf")
+
+# Finite stand-in for "unreachable" inside summed child tables: real
+# infinities would poison the via-stack sums of *other* intervals via
+# inf - inf = nan.  Any interval containing one of these can never win.
+_UNREACHABLE = 1e18
 
 
-def interval_min(costs: np.ndarray) -> np.ndarray:
+def _xp(backend: Optional[ArrayBackend]) -> ArrayBackend:
+    return backend if backend is not None else get_backend("numpy")
+
+
+def interval_min(costs, xp: Optional[ArrayBackend] = None):
     """Return ``M[..., lo, hi] = min(costs[..., lo..hi])`` (inf for lo > hi).
 
     ``costs`` has shape ``(..., L)``; the result appends an ``(L, L)``
     upper-triangular interval table.
     """
-    costs = np.asarray(costs, dtype=float)
-    length = costs.shape[-1]
-    out = np.full(costs.shape[:-1] + (length, length), INF)
-    idx = np.arange(length)
-    out[..., idx, idx] = costs
-    for hi in range(1, length):
-        out[..., :hi, hi] = np.minimum(out[..., :hi, hi - 1], costs[..., None, hi])
-    return out
+    xp = _xp(xp)
+    costs = xp.asarray(costs)
+    length = xp.shape(costs)[-1]
+    layers = xp.arange(length)
+    # T[..., lo, k] = costs[..., k] where lo <= k else inf; a running
+    # min over k then yields M[..., lo, hi] in one scan.
+    lo_covers = xp.less_equal(xp.expand_dims(layers, 1), xp.expand_dims(layers, 0))
+    masked = xp.where(lo_covers, xp.expand_dims(costs, -2), INF)
+    return xp.cummin(masked, axis=-1)
 
 
 def combine_children(
-    child_costs: np.ndarray,
-    child_node_index: np.ndarray,
+    child_costs,
+    child_node_index,
     n_nodes: int,
-    via_prefix: np.ndarray,
-    pin_lo: np.ndarray,
-    pin_hi: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    via_prefix,
+    pin_lo,
+    pin_hi,
+    xp: Optional[ArrayBackend] = None,
+) -> Tuple[object, object, object]:
     """Combine children cost vectors at a wave of tree nodes (Eq. 2, exact).
 
     At each node a via stack ``[lo, hi]`` must cover the departure layer
@@ -77,79 +96,94 @@ def combine_children(
         ``cbc`` for departure layer ``ls``; ``lo/hi_choice`` the argmin
         via-stack interval.
     """
-    child_costs = np.asarray(child_costs, dtype=float)
-    via_prefix = np.asarray(via_prefix, dtype=float)
-    n_layers = via_prefix.shape[1]
+    xp = _xp(xp)
+    via_prefix = xp.asarray(via_prefix)
+    n_layers = xp.shape(via_prefix)[-1]
     if n_nodes == 0:
-        empty = np.zeros((0, n_layers))
-        return empty, empty.astype(int), empty.astype(int)
+        empty = xp.zeros((0, n_layers))
+        empty_int = xp.zeros((0, n_layers), dtype="int")
+        return empty, empty_int, empty_int
+
+    child_costs = xp.asarray(child_costs)
 
     # S[b, lo, hi] = sum over children of min cost inside [lo, hi].
-    child_sum = np.zeros((n_nodes, n_layers, n_layers))
-    if child_costs.shape[0]:
-        tables = interval_min(child_costs)  # (C, L, L)
-        tables = np.where(np.isfinite(tables), tables, 1e18)  # keep sums finite
-        np.add.at(child_sum, np.asarray(child_node_index, dtype=int), tables)
+    child_sum = xp.zeros((n_nodes, n_layers, n_layers))
+    if xp.shape(child_costs)[0]:
+        tables = interval_min(child_costs, xp=xp)  # (C, L, L)
+        tables = xp.where(xp.isfinite(tables), tables, _UNREACHABLE)
+        xp.scatter_add(child_sum, xp.asarray(child_node_index, dtype="int"), tables)
 
     # V[b, lo, hi] = via-stack cost, defined on lo <= hi only.
-    stack_cost = via_prefix[:, None, :] - via_prefix[:, :, None]  # (B, lo, hi)
-    lo_idx = np.arange(n_layers)[:, None]
-    hi_idx = np.arange(n_layers)[None, :]
-    upper = lo_idx <= hi_idx
-    total = np.where(upper, stack_cost + child_sum, INF)  # (B, L, L)
+    layers = xp.arange(n_layers)
+    lo_idx = xp.expand_dims(layers, 1)  # (L, 1)
+    hi_idx = xp.expand_dims(layers, 0)  # (1, L)
+    stack_cost = xp.subtract(
+        xp.expand_dims(via_prefix, 1), xp.expand_dims(via_prefix, 2)
+    )  # (B, lo, hi)
+    upper = xp.less_equal(lo_idx, hi_idx)
+    total = xp.where(upper, xp.add(stack_cost, child_sum), INF)  # (B, L, L)
 
     # Feasibility per departure layer ls: lo <= min(ls, pin_lo), hi >= max(ls, pin_hi).
-    ls_idx = np.arange(n_layers)
-    need_lo = np.minimum(ls_idx[None, :], np.asarray(pin_lo, dtype=int)[:, None])  # (B, L)
-    need_hi = np.maximum(ls_idx[None, :], np.asarray(pin_hi, dtype=int)[:, None])  # (B, L)
-    feasible = (lo_idx[None, None] <= need_lo[:, :, None, None]) & (
-        hi_idx[None, None] >= need_hi[:, :, None, None]
-    )  # (B, L, L, L) over (b, ls, lo, hi)
-    masked = np.where(feasible, total[:, None, :, :], INF)
-    flat = masked.reshape(n_nodes, n_layers, n_layers * n_layers)
-    best = flat.argmin(axis=2)  # (B, L)
-    combine = np.take_along_axis(flat, best[:, :, None], axis=2)[:, :, 0]
-    lo_choice = best // n_layers
-    hi_choice = best % n_layers
+    pin_lo = xp.asarray(pin_lo, dtype="int")
+    pin_hi = xp.asarray(pin_hi, dtype="int")
+    need_lo = xp.minimum(xp.expand_dims(layers, 0), xp.expand_dims(pin_lo, 1))  # (B, L)
+    need_hi = xp.maximum(xp.expand_dims(layers, 0), xp.expand_dims(pin_hi, 1))  # (B, L)
+    lo_ok = xp.less_equal(
+        xp.reshape(layers, (1, 1, n_layers, 1)),
+        xp.expand_dims(xp.expand_dims(need_lo, 2), 3),
+    )
+    hi_ok = xp.greater_equal(
+        xp.reshape(layers, (1, 1, 1, n_layers)),
+        xp.expand_dims(xp.expand_dims(need_hi, 2), 3),
+    )
+    feasible = xp.logical_and(lo_ok, hi_ok)  # (B, ls, lo, hi)
+    masked = xp.where(feasible, xp.expand_dims(total, 1), INF)
+    flat = xp.reshape(masked, (n_nodes, n_layers, n_layers * n_layers))
+    combine, best = xp.min_argmin(flat, axis=2)  # (B, L)
+    lo_choice = xp.floor_divide(best, n_layers)
+    hi_choice = xp.mod(best, n_layers)
     return combine, lo_choice, hi_choice
 
 
-def minplus_vec_mat(w1: np.ndarray, mat: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def minplus_vec_mat(w1, mat, xp: Optional[ArrayBackend] = None) -> Tuple[object, object]:
     """Eq. 7: ``R[b, lt] = min_ls (w1[b, ls] + mat[b, ls, lt])``.
 
     Returns ``(R, arg_ls)`` with shapes ``(B, L)``.
     """
-    total = w1[:, :, None] + mat  # (B, ls, lt)
-    arg_ls = total.argmin(axis=1)
-    values = np.take_along_axis(total, arg_ls[:, None, :], axis=1)[:, 0, :]
+    xp = _xp(xp)
+    total = xp.add(xp.expand_dims(xp.asarray(w1), 2), xp.asarray(mat))  # (B, ls, lt)
+    values, arg_ls = xp.min_argmin(total, axis=1)
     return values, arg_ls
 
 
 def minplus_two_bend(
-    w1a: np.ndarray,
-    mat_a: np.ndarray,
-    w1b: np.ndarray,
-    mat_b: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    w1a,
+    mat_a,
+    w1b,
+    mat_b,
+    xp: Optional[ArrayBackend] = None,
+) -> Tuple[object, object, object]:
     """Evaluate both L-shape bend choices and merge elementwise.
 
     Returns ``(R, bend_choice, arg_ls)`` with shapes ``(B, L)``;
     ``bend_choice`` is 0 for the first bend, 1 for the second.
     """
-    values_a, arg_a = minplus_vec_mat(w1a, mat_a)
-    values_b, arg_b = minplus_vec_mat(w1b, mat_b)
-    use_b = values_b < values_a
-    values = np.where(use_b, values_b, values_a)
-    arg_ls = np.where(use_b, arg_b, arg_a)
-    return values, use_b.astype(int), arg_ls
+    xp = _xp(xp)
+    values_a, arg_a = minplus_vec_mat(w1a, mat_a, xp=xp)
+    values_b, arg_b = minplus_vec_mat(w1b, mat_b, xp=xp)
+    use_b = xp.less(values_b, values_a)
+    values = xp.where(use_b, values_b, values_a)
+    arg_ls = xp.where(use_b, arg_b, arg_a)
+    return values, xp.astype(use_b, "int"), arg_ls
 
 
 def zshape_reduce(
-    w1: np.ndarray,
-    mat2: np.ndarray,
-    mat3: np.ndarray,
-    valid: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    w1,
+    mat2,
+    mat3,
+    valid,
+    xp: Optional[ArrayBackend] = None,
+) -> Tuple[object, object, object, object]:
     """Eq. 14 + merge (Eq. 10) over padded candidate flows.
 
     Parameters
@@ -169,26 +203,25 @@ def zshape_reduce(
         all ``(B, L)``: cost per target layer, winning candidate index,
         and its middle/source layers.
     """
-    step1 = w1[:, :, :, None] + mat2  # (B, C, ls, lb)
-    arg_ls_full = step1.argmin(axis=2)  # (B, C, lb)
-    step1_min = np.take_along_axis(step1, arg_ls_full[:, :, None, :], axis=2)[:, :, 0, :]
+    xp = _xp(xp)
+    w1 = xp.asarray(w1)
+    step1 = xp.add(xp.expand_dims(w1, 3), xp.asarray(mat2))  # (B, C, ls, lb)
+    step1_min, arg_ls_full = xp.min_argmin(step1, axis=2)  # (B, C, lb)
 
-    step2 = step1_min[:, :, :, None] + mat3  # (B, C, lb, lt)
-    arg_lb_full = step2.argmin(axis=2)  # (B, C, lt)
-    step2_min = np.take_along_axis(step2, arg_lb_full[:, :, None, :], axis=2)[:, :, 0, :]
+    step2 = xp.add(xp.expand_dims(step1_min, 3), xp.asarray(mat3))  # (B, C, lb, lt)
+    step2_min, arg_lb_full = xp.min_argmin(step2, axis=2)  # (B, C, lt)
 
-    step2_min = np.where(valid[:, :, None], step2_min, INF)
-    cand = step2_min.argmin(axis=1)  # (B, lt)
-    values = np.take_along_axis(step2_min, cand[:, None, :], axis=1)[:, 0, :]
+    masked = xp.where(xp.expand_dims(xp.asarray(valid, dtype="bool"), 2), step2_min, INF)
+    values, cand = xp.min_argmin(masked, axis=1)  # (B, lt)
 
     # Gather the winning candidate's middle and source layers.
-    arg_lb = np.take_along_axis(arg_lb_full, cand[:, None, :], axis=1)[:, 0, :]  # (B, lt)
-    batch_idx = np.arange(w1.shape[0])[:, None]
-    arg_ls = arg_ls_full[batch_idx, cand, arg_lb]  # (B, lt)
+    arg_lb = xp.select_rows(arg_lb_full, cand)  # (B, lt)
+    arg_ls = xp.gather_pairs(arg_ls_full, cand, arg_lb)  # (B, lt)
     return values, cand, arg_lb, arg_ls
 
 
 __all__ = [
+    "INF",
     "interval_min",
     "combine_children",
     "minplus_vec_mat",

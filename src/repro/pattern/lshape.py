@@ -6,6 +6,9 @@ pair is a candidate path ``P{Ps, B_ls, T_lt}`` with cost Eq. 1.  The
 whole wave of two-pin nets is priced with four prefix-sum gathers and
 one :func:`~repro.pattern.kernels.minplus_two_bend` call — the paper's
 Eq. 5–7 computation graph flow, batched.
+
+All array work runs on ``query.backend``; this driver owns the
+host↔device boundary (``values``/backtracks come back as NumPy).
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ def route_lshape_wave(
     tasks: List[TwoPinTask],
     combine: np.ndarray,
     query: CostQuery,
-) -> Tuple[np.ndarray, List[EdgeBacktrack], int]:
+) -> Tuple[np.ndarray, List[EdgeBacktrack]]:
     """Price a wave of L-shape two-pin nets.
 
     Parameters
@@ -50,29 +53,39 @@ def route_lshape_wave(
 
     Returns
     -------
-    values, backtracks, elements:
-        ``values[b, lt] = c*(Ps, Pt, lt)`` (Eq. 7); per-task argmin
-        state; and the elementwise work performed (for the device's
-        launch accounting).
+    values, backtracks:
+        ``values[b, lt] = c*(Ps, Pt, lt)`` (Eq. 7) and per-task argmin
+        state, both back on the host.
     """
     n_tasks = len(tasks)
     n_layers = query.n_layers
     if n_tasks == 0:
-        return np.zeros((0, n_layers)), [], 0
+        return np.zeros((0, n_layers)), []
+    xp = query.backend
 
     xs = np.array([t.src.x for t in tasks])
     ys = np.array([t.src.y for t in tasks])
     xt = np.array([t.dst.x for t in tasks])
     yt = np.array([t.dst.y for t in tasks])
 
+    combine_dev = xp.asarray(combine)
     # Bend 0: Ps --H--> (xt, ys) --V--> Pt.
-    w1_a = combine + query.segment_cost_layers(xs, ys, xt, ys)
-    mat_a = query.via_matrix(xt, ys) + query.segment_cost_layers(xt, ys, xt, yt)[:, None, :]
+    w1_a = xp.add(combine_dev, query.segment_cost_layers(xs, ys, xt, ys))
+    mat_a = xp.add(
+        query.via_matrix(xt, ys),
+        xp.expand_dims(query.segment_cost_layers(xt, ys, xt, yt), 1),
+    )
     # Bend 1: Ps --V--> (xs, yt) --H--> Pt.
-    w1_b = combine + query.segment_cost_layers(xs, ys, xs, yt)
-    mat_b = query.via_matrix(xs, yt) + query.segment_cost_layers(xs, yt, xt, yt)[:, None, :]
+    w1_b = xp.add(combine_dev, query.segment_cost_layers(xs, ys, xs, yt))
+    mat_b = xp.add(
+        query.via_matrix(xs, yt),
+        xp.expand_dims(query.segment_cost_layers(xs, yt, xt, yt), 1),
+    )
 
-    values, bend_choice, arg_ls = minplus_two_bend(w1_a, mat_a, w1_b, mat_b)
+    values, bend_choice, arg_ls = minplus_two_bend(w1_a, mat_a, w1_b, mat_b, xp=xp)
+    values = xp.to_numpy(values)
+    bend_choice = xp.to_numpy(bend_choice)
+    arg_ls = xp.to_numpy(arg_ls)
     backtracks = [
         EdgeBacktrack(
             mode=PatternMode.LSHAPE,
@@ -81,8 +94,7 @@ def route_lshape_wave(
         )
         for i in range(n_tasks)
     ]
-    elements = n_tasks * 2 * n_layers * n_layers
-    return values, backtracks, elements
+    return values, backtracks
 
 
 __all__ = ["lshape_bends", "route_lshape_wave"]

@@ -1,40 +1,44 @@
-"""GPU-friendly 3-D Z-shape and hybrid-shape pattern routing
-(Sec. III-E/III-F, Fig. 9–11).
+"""GPU-friendly 3-D Z-shape pattern routing (Sec. III-E, Fig. 9–10).
 
 A Z path ``Ps -> Bs -> Bt -> Pt`` has two bend points; once the target
 bend ``Bt`` is placed on one of the bounding-box edges touching ``Pt``,
 the source bend ``Bs`` is determined.  Pure Z-shape offers ``M + N - 2``
-candidate bend-point pairs; the hybrid shape unifies Z and L by letting
-``Bt`` coincide with ``Pt``, for ``M + N`` candidates (Fig. 11).  Every
-candidate is one computation flow (Eq. 11–14) and a merge step (Eq. 10)
-folds them — all batched, padded to the widest candidate count.
+candidate bend-point pairs.  Every candidate is one computation flow
+(Eq. 11–14) and a merge step (Eq. 10) folds them — all batched, padded
+to the widest candidate count.
+
+This module also hosts :func:`route_candidate_wave`, the shared chunked
+driver for every candidate-enumeration pattern family; the hybrid shape
+(Sec. III-F) plugs its own enumeration into it from
+:mod:`repro.pattern.hybrid`.  All array work runs on ``query.backend``;
+the driver owns the host↔device boundary.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Callable, List, Tuple
 
 import numpy as np
 
 from repro.grid.cost import CostQuery
 from repro.pattern.kernels import zshape_reduce
-from repro.pattern.twopin import EdgeBacktrack, PatternMode, TwoPinTask
+from repro.pattern.twopin import EdgeBacktrack, TwoPinTask
+
+CandidateFn = Callable[[TwoPinTask], np.ndarray]
 
 
 def zshape_candidates(task: TwoPinTask) -> np.ndarray:
-    """Enumerate candidate bend-point pairs as an ``(C, 4)`` int array.
+    """Enumerate pure-Z candidate bend-point pairs as a ``(C, 4)`` int array.
 
     Rows are ``(bs_x, bs_y, bt_x, bt_y)``.  Two families:
 
     * **HVH** — horizontal, vertical, horizontal: ``Bs = (bx, ys)``,
       ``Bt = (bx, yt)`` for every column ``bx`` of the bounding box
       (``M`` flows; the extreme columns degenerate into L shapes);
-    * **VHV** — ``Bs = (xs, by)``, ``Bt = (xt, by)`` for rows ``by``
-      (``N`` flows).
-
-    ``PatternMode.HYBRID`` keeps all ``M + N`` flows (Sec. III-F);
-    ``PatternMode.ZSHAPE`` drops the two VHV extremes, matching the
-    paper's ``M + N - 2`` count for the plain Z pattern.
+    * **VHV** — ``Bs = (xs, by)``, ``Bt = (xt, by)`` for interior rows
+      ``by`` only (``N - 2`` flows): the extreme rows duplicate L
+      shapes the HVH family already covers, matching the paper's
+      ``M + N - 2`` count for the plain Z pattern.
     """
     xs, ys, xt, yt = task.src.x, task.src.y, task.dst.x, task.dst.y
     xlo, xhi = sorted((xs, xt))
@@ -42,11 +46,7 @@ def zshape_candidates(task: TwoPinTask) -> np.ndarray:
     rows: List[Tuple[int, int, int, int]] = []
     for bx in range(xlo, xhi + 1):
         rows.append((bx, ys, bx, yt))
-    if task.mode is PatternMode.ZSHAPE:
-        y_range = range(ylo + 1, yhi)
-    else:
-        y_range = range(ylo, yhi + 1)
-    for by in y_range:
+    for by in range(ylo + 1, yhi):
         rows.append((xs, by, xt, by))
     if not rows:  # single-column, single-row net: one degenerate flow
         rows.append((xs, ys, xs, ys))
@@ -58,25 +58,41 @@ def route_zshape_wave(
     combine: np.ndarray,
     query: CostQuery,
     max_chunk_elements: int = 150_000,
-) -> Tuple[np.ndarray, List[EdgeBacktrack], int]:
-    """Price a wave of Z/hybrid two-pin nets.
+) -> Tuple[np.ndarray, List[EdgeBacktrack]]:
+    """Price a wave of pure-Z two-pin nets.
 
-    Returns ``(values, backtracks, elements)`` exactly like
-    :func:`repro.pattern.lshape.route_lshape_wave`.  Work is split into
-    chunks bounded by ``max_chunk_elements`` tensor entries so a few
-    huge nets cannot blow up memory (the pathology the paper's selection
-    technique exists to avoid, Sec. IV-D).
+    Returns ``(values, backtracks)`` exactly like
+    :func:`repro.pattern.lshape.route_lshape_wave`.
+    """
+    return route_candidate_wave(
+        tasks, combine, query, zshape_candidates, max_chunk_elements
+    )
+
+
+def route_candidate_wave(
+    tasks: List[TwoPinTask],
+    combine: np.ndarray,
+    query: CostQuery,
+    candidate_fn: CandidateFn,
+    max_chunk_elements: int = 150_000,
+) -> Tuple[np.ndarray, List[EdgeBacktrack]]:
+    """Price a wave of candidate-enumeration two-pin nets.
+
+    ``candidate_fn`` maps a task to its ``(C, 4)`` bend-pair geometry
+    (:func:`zshape_candidates`, or the hybrid enumeration).  Work is
+    split into chunks bounded by ``max_chunk_elements`` tensor entries
+    so a few huge nets cannot blow up memory (the pathology the paper's
+    selection technique exists to avoid, Sec. IV-D).
     """
     n_tasks = len(tasks)
     n_layers = query.n_layers
     if n_tasks == 0:
-        return np.zeros((0, n_layers)), [], 0
+        return np.zeros((0, n_layers)), []
 
-    candidates = [zshape_candidates(t) for t in tasks]
+    candidates = [candidate_fn(t) for t in tasks]
     counts = np.array([c.shape[0] for c in candidates])
     values = np.zeros((n_tasks, n_layers))
     backtracks: List[EdgeBacktrack] = [None] * n_tasks  # type: ignore[list-item]
-    elements = 0
 
     # Cluster tasks of similar candidate counts to minimise padding.
     order = np.argsort(counts, kind="stable")
@@ -91,11 +107,9 @@ def route_zshape_wave(
                 break
             stop += 1
         chunk = [int(i) for i in order[start:stop]]
-        elements += _route_chunk(
-            chunk, tasks, candidates, combine, query, values, backtracks
-        )
+        _route_chunk(chunk, tasks, candidates, combine, query, values, backtracks)
         start = stop
-    return values, backtracks, elements
+    return values, backtracks
 
 
 def _route_chunk(
@@ -106,9 +120,10 @@ def _route_chunk(
     query: CostQuery,
     values: np.ndarray,
     backtracks: List[EdgeBacktrack],
-) -> int:
+) -> None:
     """Evaluate one padded chunk in a single batched reduction."""
     n_layers = query.n_layers
+    xp = query.backend
     b = len(chunk)
     width = max(candidates[i].shape[0] for i in chunk)
 
@@ -141,22 +156,31 @@ def _route_chunk(
         dsty[row, count:] = task.src.y
 
     flat = lambda a: a.reshape(-1)  # noqa: E731 - local reshaping shorthand
-    seg_first = query.segment_cost_layers(
-        flat(srcx), flat(srcy), flat(bsx), flat(bsy)
-    ).reshape(b, width, n_layers)
-    seg_mid = query.segment_cost_layers(
-        flat(bsx), flat(bsy), flat(btx), flat(bty)
-    ).reshape(b, width, n_layers)
-    seg_last = query.segment_cost_layers(
-        flat(btx), flat(bty), flat(dstx), flat(dsty)
-    ).reshape(b, width, n_layers)
-    via_bs = query.via_matrix(flat(bsx), flat(bsy)).reshape(b, width, n_layers, n_layers)
-    via_bt = query.via_matrix(flat(btx), flat(bty)).reshape(b, width, n_layers, n_layers)
+    seg_shape = (b, width, n_layers)
+    via_shape = (b, width, n_layers, n_layers)
+    seg_first = xp.reshape(
+        query.segment_cost_layers(flat(srcx), flat(srcy), flat(bsx), flat(bsy)),
+        seg_shape,
+    )
+    seg_mid = xp.reshape(
+        query.segment_cost_layers(flat(bsx), flat(bsy), flat(btx), flat(bty)),
+        seg_shape,
+    )
+    seg_last = xp.reshape(
+        query.segment_cost_layers(flat(btx), flat(bty), flat(dstx), flat(dsty)),
+        seg_shape,
+    )
+    via_bs = xp.reshape(query.via_matrix(flat(bsx), flat(bsy)), via_shape)
+    via_bt = xp.reshape(query.via_matrix(flat(btx), flat(bty)), via_shape)
 
-    w1 = combine[chunk][:, None, :] + seg_first  # Eq. 11
-    mat2 = via_bs + seg_mid[:, :, None, :]  # Eq. 12
-    mat3 = via_bt + seg_last[:, :, None, :]  # Eq. 13
-    chunk_values, cand_idx, arg_lb, arg_ls = zshape_reduce(w1, mat2, mat3, valid)
+    w1 = xp.add(xp.expand_dims(xp.asarray(combine[chunk]), 1), seg_first)  # Eq. 11
+    mat2 = xp.add(via_bs, xp.expand_dims(seg_mid, 2))  # Eq. 12
+    mat3 = xp.add(via_bt, xp.expand_dims(seg_last, 2))  # Eq. 13
+    chunk_values, cand_idx, arg_lb, arg_ls = zshape_reduce(w1, mat2, mat3, valid, xp=xp)
+    chunk_values = xp.to_numpy(chunk_values)
+    cand_idx = xp.to_numpy(cand_idx)
+    arg_lb = xp.to_numpy(arg_lb)
+    arg_ls = xp.to_numpy(arg_ls)
 
     for row, i in enumerate(chunk):
         values[i] = chunk_values[row]
@@ -167,7 +191,11 @@ def _route_chunk(
             arg_lb=arg_lb[row],
             cand_geometry=candidates[i],
         )
-    return 2 * b * width * n_layers * n_layers
 
 
-__all__ = ["zshape_candidates", "route_zshape_wave"]
+__all__ = [
+    "CandidateFn",
+    "route_candidate_wave",
+    "route_zshape_wave",
+    "zshape_candidates",
+]

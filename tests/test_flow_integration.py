@@ -161,9 +161,12 @@ class TestResultFields:
         assert result.device_stats["n_launches"] > 0
         assert result.device_stats["simulated_speedup"] > 1.0
 
-    def test_device_idle_for_sequential_engine(self):
+    def test_device_records_sequential_engine(self):
+        # The sequential baseline runs the same kernels (on the scalar
+        # python backend), one net at a time — the device records its
+        # launches too, so both engines feed the same speedup tables.
         result = GlobalRouter(fresh_design(), RouterConfig.cugr()).run()
-        assert result.device_stats["n_launches"] == 0
+        assert result.device_stats["n_launches"] > 0
 
     def test_transfer_stats_for_batch_engine(self):
         result = GlobalRouter(fresh_design(), RouterConfig.fastgr_l()).run()

@@ -58,13 +58,13 @@ class TestPatternStage:
         kernels = set(device.per_kernel_elements())
         assert "combine" in kernels and "lshape" in kernels
 
-    def test_hybrid_config_uses_zshape_kernel(self):
+    def test_hybrid_config_uses_hybrid_kernel(self):
         d = design()
         device = Device()
         run_pattern_stage(
             d, RouterConfig.fastgr_h(t1=1, t2=40), device, ZeroCopyArena()
         )
-        assert "zshape" in device.per_kernel_elements()
+        assert "hybrid" in device.per_kernel_elements()
 
     def test_arena_accounts_uploads(self):
         d = design()

@@ -1,10 +1,13 @@
-"""The oracle test: batched GPU kernels == sequential scalar CPU DP.
+"""The oracle test: batched vector kernels == sequential scalar DP.
 
-The batched implementation and the scalar reference share enumeration
-order and floating-point association, so for identical inputs they must
-produce *identical* costs, argmins and final routes — not merely close.
-This is the strongest correctness evidence for the paper's central
-claim that the GPU formulation computes the same DP (Sec. III-D/E).
+The batched engine (numpy backend) and the sequential engine (python
+backend) run the *same* kernel code on different array substrates; the
+substrates share enumeration order and floating-point association, so
+for identical inputs they must produce *identical* costs, argmins and
+final routes — not merely close.  This is the strongest correctness
+evidence for the paper's central claim that the GPU formulation
+computes the same DP (Sec. III-D/E), and it doubles as the
+cross-backend bit-identity oracle for the ArrayBackend layer.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.backend import available_backends
 from repro.netlist.generator import DesignSpec, generate_design
 from repro.pattern.batch import BatchPatternRouter
 from repro.pattern.commit import reconstruct_route
@@ -19,8 +23,9 @@ from repro.pattern.cpu_reference import SequentialPatternRouter
 from repro.pattern.twopin import PatternMode, constant_mode
 
 
-def routed_jobs(design, engine_cls, mode):
-    engine = engine_cls(design.graph, edge_shift=False)
+def routed_jobs(design, engine_cls, mode, backend=None):
+    kwargs = {} if backend is None else {"backend": backend}
+    engine = engine_cls(design.graph, edge_shift=False, **kwargs)
     jobs = [engine.make_job(net) for net in design.netlist]
     engine.route_jobs(jobs, constant_mode(mode))
     return jobs
@@ -95,6 +100,28 @@ class TestEquivalence:
         seq = routed_jobs(design, SequentialPatternRouter, mode)
         for a, b in zip(batch, seq):
             assert a.total_cost == b.total_cost
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize(
+    "mode", [PatternMode.LSHAPE, PatternMode.HYBRID, PatternMode.ZSHAPE]
+)
+class TestAllBackendsParity:
+    """Every registered backend must match the numpy baseline exactly."""
+
+    def test_costs_and_vectors_identical(self, mode, backend):
+        design_ref = design_with(seed=8, demand_seed=17)
+        design_alt = design_with(seed=8, demand_seed=17)
+        ref = routed_jobs(design_ref, BatchPatternRouter, mode, backend="numpy")
+        alt = routed_jobs(design_alt, BatchPatternRouter, mode, backend=backend)
+        for a, b in zip(ref, alt):
+            assert a.total_cost == b.total_cost, a.net.name
+            assert a.root_interval == b.root_interval
+            for node, vec in a.node_vectors.items():
+                assert np.array_equal(vec, b.node_vectors[node]), (
+                    a.net.name,
+                    node,
+                )
 
 
 class TestRouteBatchParity:

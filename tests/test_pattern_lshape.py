@@ -40,14 +40,14 @@ class TestWaveKernel:
 
     def test_empty_wave(self):
         query = self._query()
-        values, backtracks, elements = route_lshape_wave([], np.zeros((0, 5)), query)
+        values, backtracks = route_lshape_wave([], np.zeros((0, 5)), query)
         assert values.shape == (0, 5)
-        assert backtracks == [] and elements == 0
+        assert backtracks == []
 
     def test_values_finite_on_reachable_layers(self):
         query = self._query()
         combine = np.zeros((1, 5))
-        values, _b, _e = route_lshape_wave([task((2, 3), (7, 9))], combine, query)
+        values, _b = route_lshape_wave([task((2, 3), (7, 9))], combine, query)
         # Every target layer is reachable (vias at the bend).
         assert np.all(np.isfinite(values))
 
@@ -55,13 +55,13 @@ class TestWaveKernel:
         query = self._query()
         combine = np.zeros((2, 5))
         tasks = [task((2, 3), (3, 3)), task((2, 3), (9, 9))]
-        values, _b, _e = route_lshape_wave(tasks, combine, query)
+        values, _b = route_lshape_wave(tasks, combine, query)
         assert values[1].min() > values[0].min()
 
     def test_degenerate_task_costs_via_only(self):
         query = self._query()
         combine = np.zeros((1, 5))
-        values, _b, _e = route_lshape_wave([task((4, 4), (4, 4))], combine, query)
+        values, _b = route_lshape_wave([task((4, 4), (4, 4))], combine, query)
         # Arriving on layer l costs a via stack from the best ls (=l).
         assert values[0].min() == 0.0
 
@@ -69,8 +69,8 @@ class TestWaveKernel:
         query = self._query()
         flat = np.zeros((1, 5))
         bumped = np.full((1, 5), 10.0)
-        v_flat, _b, _e = route_lshape_wave([task((2, 3), (7, 9))], flat, query)
-        v_bumped, _b2, _e2 = route_lshape_wave([task((2, 3), (7, 9))], bumped, query)
+        v_flat, _b = route_lshape_wave([task((2, 3), (7, 9))], flat, query)
+        v_bumped, _b2 = route_lshape_wave([task((2, 3), (7, 9))], bumped, query)
         assert np.allclose(v_bumped, v_flat + 10.0)
 
     def test_congestion_steers_bend_choice(self):
@@ -80,7 +80,7 @@ class TestWaveKernel:
             for _ in range(8):
                 grid.add_wire_demand(layer, 2, 3, 9, 3)
         query = CostQuery(grid, CostModel())
-        values, backtracks, _e = route_lshape_wave(
+        values, backtracks = route_lshape_wave(
             [task((2, 3), (9, 9))], np.zeros((1, 5)), query
         )
         best_lt = int(np.argmin(values[0]))

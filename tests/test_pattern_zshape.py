@@ -13,6 +13,7 @@ from repro.netlist.net import Net, Pin
 from repro.pattern.batch import BatchPatternRouter
 from repro.pattern.commit import reconstruct_route
 from repro.pattern.twopin import PatternMode, TwoPinTask, constant_mode
+from repro.pattern.hybrid import hybrid_candidates, route_hybrid_wave
 from repro.pattern.zshape import route_zshape_wave, zshape_candidates
 
 
@@ -23,29 +24,33 @@ def task(src, dst, mode=PatternMode.HYBRID):
 class TestCandidates:
     def test_hybrid_count_is_m_plus_n(self):
         # 4 wide x 3 tall bounding box: M=4, N=3 -> 7 candidates.
-        cands = zshape_candidates(task((2, 2), (5, 4)))
+        cands = hybrid_candidates(task((2, 2), (5, 4)))
         assert cands.shape == (7, 4)
 
     def test_zshape_count_is_m_plus_n_minus_2(self):
         cands = zshape_candidates(task((2, 2), (5, 4), PatternMode.ZSHAPE))
         assert cands.shape == (5, 4)
 
-    def test_candidates_inside_bounding_box(self):
-        cands = zshape_candidates(task((5, 4), (2, 2)))
+    @pytest.mark.parametrize("fn", [zshape_candidates, hybrid_candidates])
+    def test_candidates_inside_bounding_box(self, fn):
+        cands = fn(task((5, 4), (2, 2)))
         assert np.all(cands[:, 0] >= 2) and np.all(cands[:, 0] <= 5)
         assert np.all(cands[:, 1] >= 2) and np.all(cands[:, 1] <= 4)
 
-    def test_hvh_pairs_share_column(self):
-        cands = zshape_candidates(task((2, 2), (5, 4)))
+    @pytest.mark.parametrize("fn", [zshape_candidates, hybrid_candidates])
+    def test_hvh_pairs_share_column(self, fn):
+        cands = fn(task((2, 2), (5, 4)))
         hvh = cands[:4]  # first M rows are the HVH family
         assert np.all(hvh[:, 0] == hvh[:, 2])
 
     def test_straight_net_candidates(self):
-        cands = zshape_candidates(task((2, 2), (2, 6)))
-        assert cands.shape[0] == 1 + 5  # M=1 column + N=5 rows
+        assert hybrid_candidates(task((2, 2), (2, 6))).shape[0] == 1 + 5
+        # Pure Z drops the two VHV extremes: M=1 column + (N-2)=3 rows.
+        assert zshape_candidates(task((2, 2), (2, 6))).shape[0] == 1 + 3
 
-    def test_degenerate_net_single_candidate(self):
-        cands = zshape_candidates(task((3, 3), (3, 3)))
+    @pytest.mark.parametrize("fn", [zshape_candidates, hybrid_candidates])
+    def test_degenerate_net_single_candidate(self, fn):
+        cands = fn(task((3, 3), (3, 3)))
         assert cands.shape[0] >= 1
 
 
@@ -54,20 +59,22 @@ class TestWave:
         grid = GridGraph(14, 14, LayerStack(5), wire_capacity=capacity)
         return grid, CostQuery(grid, CostModel())
 
-    def test_empty_wave(self):
+    @pytest.mark.parametrize("wave_fn", [route_zshape_wave, route_hybrid_wave])
+    def test_empty_wave(self, wave_fn):
         _grid, query = self._query()
-        values, backtracks, elements = route_zshape_wave([], np.zeros((0, 5)), query)
-        assert values.shape == (0, 5) and backtracks == [] and elements == 0
+        values, backtracks = wave_fn([], np.zeros((0, 5)), query)
+        assert values.shape == (0, 5) and backtracks == []
 
-    def test_z_never_worse_than_l(self):
-        """Z/hybrid explores a superset of the L paths."""
+    @pytest.mark.parametrize("wave_fn", [route_zshape_wave, route_hybrid_wave])
+    def test_z_never_worse_than_l(self, wave_fn):
+        """Z and hybrid both explore a superset of the L paths."""
         from repro.pattern.lshape import route_lshape_wave
 
         _grid, query = self._query()
         combine = np.zeros((1, 5))
         for src, dst in [((2, 2), (9, 9)), ((3, 8), (11, 2)), ((2, 2), (2, 9))]:
-            z_vals, _zb, _ze = route_zshape_wave([task(src, dst)], combine, query)
-            l_vals, _lb, _le = route_lshape_wave([task(src, dst)], combine, query)
+            z_vals, _zb = wave_fn([task(src, dst)], combine, query)
+            l_vals, _lb = route_lshape_wave([task(src, dst)], combine, query)
             assert np.all(z_vals <= l_vals + 1e-9)
 
     def test_z_beats_l_under_mid_corridor_congestion(self):
@@ -82,8 +89,8 @@ class TestWave:
         from repro.pattern.lshape import route_lshape_wave
 
         combine = np.zeros((1, 5))
-        z_vals, _zb, _ze = route_zshape_wave([task((2, 2), (11, 9))], combine, query)
-        l_vals, _lb, _le = route_lshape_wave([task((2, 2), (11, 9))], combine, query)
+        z_vals, _zb = route_zshape_wave([task((2, 2), (11, 9))], combine, query)
+        l_vals, _lb = route_lshape_wave([task((2, 2), (11, 9))], combine, query)
         assert z_vals.min() < l_vals.min()
 
     def test_chunking_equivalence(self):
@@ -97,8 +104,8 @@ class TestWave:
             task((7, 2), (13, 2)),
         ]
         combine = np.zeros((5, 5))
-        big, _b1, _e1 = route_zshape_wave(tasks, combine, query)
-        small, _b2, _e2 = route_zshape_wave(
+        big, _b1 = route_hybrid_wave(tasks, combine, query)
+        small, _b2 = route_hybrid_wave(
             tasks, combine, query, max_chunk_elements=200
         )
         assert np.allclose(big, small)
