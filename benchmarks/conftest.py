@@ -49,7 +49,8 @@ def config_key(config: RouterConfig) -> str:
         f"{config.name}|{config.pattern_engine}|{config.pattern_shape}|"
         f"{config.use_selection}|{config.t1}|{config.t2}|"
         f"{config.sorting_scheme}|{config.rrr_sorting_scheme}|"
-        f"{config.n_rrr_iterations}|{config.rrr_parallel}|{config.edge_shift}"
+        f"{config.n_rrr_iterations}|{config.rrr_parallel}|{config.edge_shift}|"
+        f"{config.executor}|{config.max_batch_tasks}"
     )
 
 

@@ -22,6 +22,7 @@ from typing import Optional
 from repro.backend import available_backends
 from repro.core.config import RouterConfig
 from repro.core.router import GlobalRouter
+from repro.sched.pipeline import EXECUTION_POLICIES
 from repro.netlist.benchmarks import BENCHMARKS, benchmark_names, load_benchmark
 from repro.netlist.design import Design
 from repro.netlist.io import read_design, write_design
@@ -54,6 +55,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         overrides["n_rrr_iterations"] = args.iterations
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.executor is not None:
+        overrides["executor"] = args.executor
     config = _PRESETS[args.config](**overrides)
     result = GlobalRouter(design, config).run()
 
@@ -61,6 +64,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
           f"{design.graph.nx}x{design.graph.ny}x{design.n_layers})")
     print(f"router        : {result.config_name}")
     print(f"backend       : {config.backend}")
+    print(f"executor      : {config.executor} ({config.n_workers} workers)")
     print(f"pattern stage : {result.pattern_time:.3f} s")
     print(f"maze stage    : {result.maze_time:.3f} s (modelled parallel; "
           f"sequential {result.maze_time_sequential:.3f} s)")
@@ -77,6 +81,13 @@ def _cmd_route(args: argparse.Namespace) -> int:
         if not result.routes[net.name].connects([p.as_node() for p in net.pins])
     )
     print(f"connectivity  : {design.n_nets - disconnected}/{design.n_nets} nets")
+
+    reports = result.stage_reports()
+    if reports:
+        from repro.eval.report import format_stage_reports
+
+        print()
+        print(format_stage_reports(reports))
 
     if args.guides:
         from repro.detail.guides import write_guides
@@ -131,6 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=available_backends(), default=None,
         help="array backend for the pattern kernels "
         "(default: the preset's choice)",
+    )
+    route.add_argument(
+        "--executor", choices=EXECUTION_POLICIES, default=None,
+        help="execution policy of the scheduled-stage pipeline: "
+        "'threaded' drains the task graph on a worker pool, 'ordered' "
+        "runs the deterministic topological order; results are "
+        "bit-identical (default: the preset's choice)",
     )
     route.add_argument("--guides", default=None, metavar="FILE",
                        help="write routing guides for detailed routing")

@@ -46,6 +46,15 @@ class RouterConfig:
     rrr_sorting_scheme: Optional[str] = None
     n_rrr_iterations: int = 3
     rrr_parallel: str = "taskgraph"  # "taskgraph" | "batch"
+    # Execution policy of the scheduled-stage pipeline: "threaded" runs
+    # the ordered task graph on the Taskflow-like executor's worker
+    # pool; "ordered" drains it in deterministic topological order.
+    # Both produce bit-identical routes by construction.
+    executor: str = "threaded"
+    # Pattern-stage batches larger than this are split into sibling
+    # chunk tasks (conflict-free by construction), so the task graph
+    # has intra-batch parallelism to expose instead of a chain.
+    max_batch_tasks: int = 64
     edge_shift: bool = True
     maze_margin: int = 6
     n_workers: int = 8
@@ -59,6 +68,15 @@ class RouterConfig:
             raise ValueError(f"unknown pattern shape {self.pattern_shape!r}")
         if self.rrr_parallel not in ("taskgraph", "batch"):
             raise ValueError(f"unknown RRR strategy {self.rrr_parallel!r}")
+        from repro.sched.pipeline import EXECUTION_POLICIES
+
+        if self.executor not in EXECUTION_POLICIES:
+            raise ValueError(
+                f"unknown execution policy {self.executor!r}; available: "
+                f"{', '.join(EXECUTION_POLICIES)}"
+            )
+        if self.max_batch_tasks < 1:
+            raise ValueError("max_batch_tasks must be >= 1")
         from repro.backend import available_backends
 
         if self.backend not in available_backends():
@@ -83,6 +101,7 @@ class RouterConfig:
             pattern_shape="lshape",
             backend="python",
             rrr_parallel="batch",
+            executor="ordered",
         )
         return replace(config, **overrides) if overrides else config
 

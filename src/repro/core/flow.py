@@ -1,39 +1,171 @@
-"""The two-stage global-routing flow (Fig. 5).
+"""The two-stage global-routing flow (Fig. 5) as scheduled stages.
 
-Stage 1 — pattern routing: sort nets (Internet ordering), extract
-conflict-free batches (Algorithm 1), route each batch with the
-configured pattern engine.  The batches form a chain in the task graph
-(every pair of batches conflicts by construction), so they execute in
-order; all parallelism lives *inside* each batch, on the device.
+Both stages are :class:`~repro.sched.pipeline.ScheduledStage` instances
+executed by the same :class:`~repro.sched.pipeline.StageRunner` — the
+flow holds no scheduling logic of its own:
 
-Stage 2 — rip-up and reroute: per iteration, find violating nets, order
-them, schedule them with the task graph scheduler, and maze-reroute in
-schedule order, recording per-task durations for the parallel makespan
-models.
+* :class:`PatternStage` — sort nets (Internet ordering), extract
+  conflict-free batches (Algorithm 1), split oversized batches into
+  sibling chunks.  Each chunk is one task whose footprint is its nets'
+  bounding boxes, so the task graph carries dependencies only between
+  *conflicting* chunks instead of an unconditional batch chain; each
+  task is one host-side kernel invocation sequence on the pattern
+  engine (Fig. 7).
+* :class:`RerouteStage` — per rip-up iteration, every violating net is
+  one maze-reroute task whose footprint is its search region (bounding
+  box + maze margin).
+
+Task results are committed through ``commit_task`` (serialized by the
+runner, ordered before conflicting successors), so the ``threaded``
+policy reproduces the ``ordered`` policy bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import RouterConfig
 from repro.core.result import IterationStats
 from repro.core.selection import make_mode_selector
+from repro.grid.geometry import Rect
 from repro.grid.route import Route
 from repro.gpu.device import Device
 from repro.gpu.zerocopy import ZeroCopyArena
 from repro.maze.ripup import RipupReroute, find_violating_nets
 from repro.netlist.design import Design
+from repro.netlist.net import Net
 from repro.pattern.batch import BatchPatternRouter
 from repro.pattern.cpu_reference import SequentialPatternRouter
 from repro.sched.batching import extract_batches
-from repro.sched.conflict import build_conflict_graph
-from repro.sched.executor import (
-    simulate_batch_barrier_makespan,
-    simulate_makespan,
-)
+from repro.sched.pipeline import ScheduledStage, StageReport, StageRunner
 from repro.sched.sorting import sort_nets
-from repro.sched.taskgraph import build_task_graph
+
+
+class PatternStage(ScheduledStage):
+    """Pattern routing as chunk tasks over a shared pattern engine."""
+
+    name = "pattern"
+
+    def __init__(
+        self,
+        design: Design,
+        config: RouterConfig,
+        device: Device,
+        arena: ZeroCopyArena,
+    ) -> None:
+        graph = design.graph
+        self.nets = sort_nets(list(design.netlist), config.sorting_scheme)
+        boxes = [net.bbox for net in self.nets]
+        batches = extract_batches(boxes, graph.nx, graph.ny)
+        # Greedy maximal batches pairwise conflict by construction — as
+        # whole tasks they could only chain.  Capping each batch into
+        # sibling chunks (conflict-free among themselves) gives the
+        # task graph real width to exploit.
+        cap = config.max_batch_tasks
+        self.chunks: List[List[int]] = []
+        for batch in batches:
+            for lo in range(0, len(batch), cap):
+                self.chunks.append(batch[lo : lo + cap])
+        self._boxes = [[boxes[i] for i in chunk] for chunk in self.chunks]
+        self.mode_fn = make_mode_selector(config, graph)
+
+        engine_cls = (
+            BatchPatternRouter
+            if config.pattern_engine == "batch"
+            else SequentialPatternRouter
+        )
+        self.engine = engine_cls(
+            graph,
+            config.cost_model,
+            device=device,
+            arena=arena,
+            edge_shift=config.edge_shift,
+            max_chunk_elements=config.max_chunk_elements,
+            backend=config.backend,
+        )
+        # Stage-start cost snapshot (zero demand): every chunk's masked
+        # rebuild pins out-of-footprint costs to these arrays, so its DP
+        # is bit-independent of whatever non-conflicting chunks did.
+        self.cost_reference = (
+            list(self.engine.query.wire_cost),
+            self.engine.query.via_cost,
+        )
+        # One simulated accelerator: chunks share the engine's device
+        # queue, so kernel launches are framed one task at a time.
+        self._engine_lock = threading.Lock()
+        self.routes: Dict[str, Route] = {}
+
+    def task_boxes(self) -> Sequence[Sequence[Rect]]:
+        return self._boxes
+
+    def task_label(self, task: int) -> str:
+        return f"chunk-{task}"
+
+    def prepare(self) -> None:
+        self.routes = {}
+
+    def run_task(self, task: int) -> Dict[str, Route]:
+        chunk_nets = [self.nets[i] for i in self.chunks[task]]
+        with self._engine_lock:
+            return self.engine.route_batch(
+                chunk_nets,
+                self.mode_fn,
+                cost_boxes=self._boxes[task],
+                cost_reference=self.cost_reference,
+            )
+
+    def commit_task(self, task: int, result: Dict[str, Route]) -> None:
+        self.routes.update(result)
+
+
+class RerouteStage(ScheduledStage):
+    """One rip-up iteration: every violating net is a maze task."""
+
+    name = "maze"
+
+    def __init__(
+        self,
+        engine: RipupReroute,
+        routes: Dict[str, Route],
+        ordered_nets: List[Net],
+        margin: int,
+    ) -> None:
+        self.engine = engine
+        self.routes = routes
+        self.ordered_nets = ordered_nets
+        graph = engine.graph
+        # The footprint is the maze *search region*, not just the
+        # bounding box: everything the task reads or writes lives there.
+        self._boxes = [
+            [net.bbox.expanded(margin).clipped(graph.nx, graph.ny)]
+            for net in ordered_nets
+        ]
+        self.n_failed = 0
+
+    def task_boxes(self) -> Sequence[Sequence[Rect]]:
+        return self._boxes
+
+    def task_label(self, task: int) -> str:
+        return self.ordered_nets[task].name
+
+    def prepare(self) -> None:
+        self.n_failed = 0
+
+    def run_task(self, task: int) -> Optional[Route]:
+        return self.engine.rip_and_reroute(
+            self.routes, self.ordered_nets[task].name
+        )
+
+    def commit_task(self, task: int, result: Optional[Route]) -> None:
+        if result is None:
+            self.n_failed += 1
+        else:
+            self.routes[self.ordered_nets[task].name] = result
+
+
+def _make_runner(config: RouterConfig) -> StageRunner:
+    return StageRunner(policy=config.executor, n_workers=config.n_workers)
 
 
 def run_pattern_stage(
@@ -41,40 +173,18 @@ def run_pattern_stage(
     config: RouterConfig,
     device: Device,
     arena: ZeroCopyArena,
-) -> Dict[str, Route]:
-    """Route every net with pattern routing; return committed routes."""
-    graph = design.graph
-    nets = sort_nets(list(design.netlist), config.sorting_scheme)
-    boxes = [net.bbox for net in nets]
-    batches = extract_batches(boxes, graph.nx, graph.ny)
-    mode_fn = make_mode_selector(config, graph)
+) -> Tuple[Dict[str, Route], StageReport]:
+    """Route every net with pattern routing.
 
-    if config.pattern_engine == "batch":
-        engine = BatchPatternRouter(
-            graph,
-            config.cost_model,
-            device=device,
-            arena=arena,
-            edge_shift=config.edge_shift,
-            max_chunk_elements=config.max_chunk_elements,
-            backend=config.backend,
-        )
-    else:
-        engine = SequentialPatternRouter(
-            graph,
-            config.cost_model,
-            device=device,
-            arena=arena,
-            edge_shift=config.edge_shift,
-            max_chunk_elements=config.max_chunk_elements,
-            backend=config.backend,
-        )
-
-    routes: Dict[str, Route] = {}
-    for batch in batches:
-        batch_nets = [nets[i] for i in batch]
-        routes.update(engine.route_batch(batch_nets, mode_fn))
-    return routes
+    Returns the committed routes (keyed in netlist order) and the
+    pipeline's execution report.
+    """
+    stage = PatternStage(design, config, device, arena)
+    report = _make_runner(config).run(stage)
+    # Commit order is schedule-dependent under the threaded policy;
+    # re-key in netlist order so the mapping itself is deterministic.
+    routes = {net.name: stage.routes[net.name] for net in design.netlist}
+    return routes, report
 
 
 def run_rrr_stage(
@@ -85,65 +195,61 @@ def run_rrr_stage(
     """Run the rip-up-and-reroute iterations in place.
 
     Returns the number of violating nets found after the pattern stage
-    and the per-iteration statistics.
+    (0 when the pattern stage already closed routing — no iteration
+    entry is fabricated in that case) and the per-iteration statistics.
     """
     graph = design.graph
     nets_by_name = {net.name: net for net in design.netlist}
     engine = RipupReroute(
         graph, nets_by_name, config.cost_model, margin=config.maze_margin
     )
-    initial_to_rip = -1
+    runner = _make_runner(config)
+    rrr_scheme = config.rrr_sorting_scheme or config.sorting_scheme
+
+    initial_to_rip: Optional[int] = None
     iterations: List[IterationStats] = []
+    cached_key: Optional[Tuple[str, ...]] = None
+    ordered_nets: List[Net] = []
+    schedule = None
     for iteration in range(config.n_rrr_iterations):
         violating = find_violating_nets(routes, graph)
-        if initial_to_rip < 0:
+        if initial_to_rip is None:
             initial_to_rip = len(violating)
         if not violating:
             break
 
-        rrr_scheme = config.rrr_sorting_scheme or config.sorting_scheme
-        ordered_nets = sort_nets(
-            [nets_by_name[name] for name in violating], rrr_scheme
-        )
-        boxes = [net.bbox for net in ordered_nets]
-        conflict_graph = build_conflict_graph(boxes)
-        task_graph = build_task_graph(conflict_graph)
-        batches = extract_batches(boxes, graph.nx, graph.ny)
+        # Sorting and conflict analysis depend only on *which* nets
+        # violate; reuse them across iterations with an identical set.
+        key = tuple(sorted(violating))
+        if key != cached_key:
+            ordered_nets = sort_nets(
+                [nets_by_name[name] for name in violating], rrr_scheme
+            )
+            schedule = runner.schedule(
+                RerouteStage(engine, routes, ordered_nets, config.maze_margin)
+            )
+            cached_key = key
 
-        if config.rrr_parallel == "taskgraph":
-            order = task_graph.topological_order()
-        else:
-            order = [index for batch in batches for index in batch]
-        ordered_names = [ordered_nets[i].name for i in order]
-
-        stats = engine.reroute(routes, ordered_names)
-        durations = [
-            stats.task_durations[net.name] for net in ordered_nets
-        ]
-        taskgraph_makespan = simulate_makespan(
-            task_graph, durations, config.n_workers
-        )
-        batch_makespan = simulate_batch_barrier_makespan(
-            batches, durations, config.n_workers
-        )
+        stage = RerouteStage(engine, routes, ordered_nets, config.maze_margin)
+        report = runner.run(stage, schedule=schedule)
         iterations.append(
             IterationStats(
                 iteration=iteration,
-                n_ripped=stats.n_ripped,
-                n_failed=stats.n_failed,
-                sequential_time=stats.sequential_time,
-                taskgraph_makespan=taskgraph_makespan,
-                batch_makespan=batch_makespan,
-                makespan=(
-                    taskgraph_makespan
-                    if config.rrr_parallel == "taskgraph"
-                    else batch_makespan
-                ),
+                n_ripped=report.n_tasks,
+                n_failed=stage.n_failed,
+                sequential_time=report.sequential_time,
+                taskgraph_makespan=report.taskgraph_makespan,
+                batch_makespan=report.batch_makespan,
+                makespan=report.makespan(config.rrr_parallel),
+                report=report,
             )
         )
-    if initial_to_rip < 0:
-        initial_to_rip = 0
-    return initial_to_rip, iterations
+    return (initial_to_rip or 0, iterations)
 
 
-__all__ = ["run_pattern_stage", "run_rrr_stage"]
+__all__ = [
+    "PatternStage",
+    "RerouteStage",
+    "run_pattern_stage",
+    "run_rrr_stage",
+]

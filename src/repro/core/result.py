@@ -14,10 +14,11 @@ A :class:`RoutingResult` carries everything the paper's tables report:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.eval.metrics import RoutingMetrics
 from repro.grid.route import Route
+from repro.sched.pipeline import StageReport
 
 
 @dataclass
@@ -33,6 +34,8 @@ class IterationStats:
     # Makespan under the strategy the router was configured with
     # ("taskgraph" for FastGR, "batch" for the CUGR baseline).
     makespan: float = 0.0
+    # Full pipeline execution record (policy, timeline, schedule).
+    report: Optional[StageReport] = None
 
     @property
     def scheduler_speedup(self) -> float:
@@ -55,6 +58,14 @@ class RoutingResult:
     iterations: List[IterationStats] = field(default_factory=list)
     device_stats: Dict[str, float] = field(default_factory=dict)
     transfer_stats: Dict[str, float] = field(default_factory=dict)
+    # Pipeline execution record of the pattern stage (chunk tasks).
+    pattern_report: Optional[StageReport] = None
+
+    def stage_reports(self) -> List[StageReport]:
+        """All pipeline reports, pattern stage first then per iteration."""
+        reports = [self.pattern_report] if self.pattern_report else []
+        reports.extend(it.report for it in self.iterations if it.report)
+        return reports
 
     # ------------------------------------------------------------------ #
     # Runtime views (the table columns)
@@ -104,6 +115,11 @@ class RoutingResult:
             "total_time": self.total_time,
             "nets_to_ripup": float(self.nets_to_ripup),
         }
+        if self.pattern_report is not None:
+            data["pattern_tasks"] = float(self.pattern_report.n_tasks)
+            data["pattern_scheduler_speedup"] = (
+                self.pattern_report.scheduler_speedup
+            )
         data.update(self.metrics.as_dict())
         data.update({f"device_{k}": v for k, v in self.device_stats.items()})
         return data

@@ -50,7 +50,7 @@ class GlobalRouter:
         timer = StageTimer()
 
         with timer.stage("pattern"):
-            routes = run_pattern_stage(
+            routes, pattern_report = run_pattern_stage(
                 self.design, self.config, self.device, self.arena
             )
         with timer.stage("maze"):
@@ -67,6 +67,7 @@ class GlobalRouter:
             stage_times=timer.totals(),
             nets_to_ripup=nets_to_ripup,
             iterations=iterations,
+            pattern_report=pattern_report,
             device_stats={
                 "n_launches": float(self.device.n_launches),
                 "total_elements": float(self.device.total_elements),

@@ -43,4 +43,38 @@ def format_table(
     return "\n".join(lines)
 
 
-__all__ = ["format_table"]
+def format_stage_reports(reports) -> str:
+    """Render the pipeline's :class:`~repro.sched.pipeline.StageReport`
+    records as one table (pattern stage, then each RRR iteration)."""
+    rows = [
+        [
+            report.stage,
+            report.policy,
+            report.n_tasks,
+            report.n_conflicts,
+            report.n_batches,
+            report.sequential_time,
+            report.batch_makespan,
+            report.taskgraph_makespan,
+            report.scheduler_speedup,
+        ]
+        for report in reports
+    ]
+    return format_table(
+        [
+            "stage",
+            "policy",
+            "tasks",
+            "conflicts",
+            "batches",
+            "sequential(s)",
+            "batch-barrier(s)",
+            "task-graph(s)",
+            "speedup",
+        ],
+        rows,
+        title="Scheduled-stage pipeline (modelled makespans, Table VIII)",
+    )
+
+
+__all__ = ["format_table", "format_stage_reports"]

@@ -114,19 +114,59 @@ class CostQuery:
     # ------------------------------------------------------------------ #
     # Snapshot construction
     # ------------------------------------------------------------------ #
-    def rebuild(self) -> None:
+    def rebuild(self, boxes=None, reference=None) -> None:
         """Recompute all edge costs and prefix sums from current demand.
 
         Edge costs are computed host-side (see module docstring), then
         uploaded; the prefix scans run on the backend so the snapshot
         lives where the kernels will gather from it.
+
+        With ``boxes`` (a sequence of :class:`~repro.grid.geometry.Rect`)
+        and ``reference`` (a ``(wire_cost_list, via_cost)`` snapshot from
+        an earlier rebuild), the rebuild is *masked*: only edges fully
+        inside a box are recomputed from current demand; everything else
+        keeps the reference value.  This makes the snapshot independent
+        of demand outside the boxes — not just mathematically (prefix
+        *differences* inside a box always telescope to in-box sums) but
+        bit for bit, because upstream prefix contributions are pinned.
+        The scheduler relies on this: tasks whose footprints do not
+        overlap see identical snapshots no matter which finished first.
         """
         graph, model, xp = self.graph, self.model, self.backend
         nx, ny, n_layers = graph.nx, graph.ny, self.n_layers
-        self.wire_cost = [
-            model.wire_edge_costs(graph, layer) for layer in range(n_layers)
-        ]
-        self.via_cost = model.via_edge_costs(graph)
+        if boxes is None:
+            self.wire_cost = [
+                model.wire_edge_costs(graph, layer) for layer in range(n_layers)
+            ]
+            self.via_cost = model.via_edge_costs(graph)
+        else:
+            if reference is None:
+                raise ValueError("masked rebuild needs a cost reference")
+            ref_wire, ref_via = reference
+            self.wire_cost = [
+                np.array(ref_wire[layer], copy=True) for layer in range(n_layers)
+            ]
+            self.via_cost = np.array(ref_via, copy=True)
+            for box in boxes:
+                for layer in range(n_layers):
+                    # Wire edge [x, y] leaves cell (x, y) along the
+                    # layer direction; recompute the edges whose both
+                    # endpoints lie inside the box.
+                    if self._h_allowed[layer]:
+                        sl = (slice(box.xlo, box.xhi), slice(box.ylo, box.yhi + 1))
+                    else:
+                        sl = (slice(box.xlo, box.xhi + 1), slice(box.ylo, box.yhi))
+                    self.wire_cost[layer][sl] = model.unit_wire_cost + model.congestion(
+                        graph.wire_demand[layer][sl], graph.wire_capacity[layer][sl]
+                    )
+                vsl = (
+                    slice(None),
+                    slice(box.xlo, box.xhi + 1),
+                    slice(box.ylo, box.yhi + 1),
+                )
+                self.via_cost[vsl] = model.unit_via_cost + model.congestion(
+                    graph.via_demand[vsl], graph.via_capacity[vsl]
+                )
 
         # Full-(L, nx, ny) edge layout: row/column 0 pads the exclusive
         # prefix, layers of the wrong direction stay all-zero and are

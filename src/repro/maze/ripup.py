@@ -8,16 +8,18 @@ edge are rerouted.  Each iteration:
    task graph scheduler — every net is one routing task;
 3. in schedule order: rip up the net, maze-route it, commit.
 
-Per-task wall-clock durations are recorded so the scheduler benchmarks
-can compute the parallel makespans (task-graph vs batch-barrier) the
-paper compares in Table VIII.
+:class:`RipupReroute` exposes the per-net task primitive
+(:meth:`~RipupReroute.rip_and_reroute`) the scheduled-stage pipeline
+executes; its maze router is thread-local so concurrent non-conflicting
+tasks each search against their own cost snapshot.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,36 +29,56 @@ from repro.grid.route import Route
 from repro.maze.router import MazeRouter, MazeRoutingError
 from repro.netlist.net import Net
 
+OverflowMasks = Tuple[List[np.ndarray], np.ndarray]
+
+
+def overflow_masks(graph: GridGraph) -> OverflowMasks:
+    """Compute the per-layer ``demand > capacity`` masks once.
+
+    Scanning routes against these boolean masks replaces re-deriving
+    the comparison for every wire of every net — the masks cost one
+    pass over the grid instead of O(nets x route-length) array temporaries.
+    """
+    wire = [
+        graph.wire_demand[layer] > graph.wire_capacity[layer]
+        for layer in range(graph.n_layers)
+    ]
+    via = graph.via_demand > graph.via_capacity
+    return wire, via
+
+
+def route_touches_overflow(route: Route, masks: OverflowMasks) -> bool:
+    """Return True when any edge used by ``route`` is overflowed."""
+    wire_over, via_over = masks
+    for wire in route.wires:
+        over = wire_over[wire.layer]
+        if wire.is_horizontal:
+            if bool(np.any(over[wire.x1 : wire.x2, wire.y1])):
+                return True
+        else:
+            if bool(np.any(over[wire.x1, wire.y1 : wire.y2])):
+                return True
+    for via in route.vias:
+        if bool(np.any(via_over[via.lo : via.hi, via.x, via.y])):
+            return True
+    return False
+
 
 def route_has_violation(route: Route, graph: GridGraph) -> bool:
     """Return True when any edge used by ``route`` is overflowed."""
-    for wire in route.wires:
-        demand = graph.wire_demand[wire.layer]
-        capacity = graph.wire_capacity[wire.layer]
-        if wire.is_horizontal:
-            segment = slice(wire.x1, wire.x2)
-            over = demand[segment, wire.y1] > capacity[segment, wire.y1]
-        else:
-            segment = slice(wire.y1, wire.y2)
-            over = demand[wire.x1, segment] > capacity[wire.x1, segment]
-        if bool(np.any(over)):
-            return True
-    for via in route.vias:
-        segment = slice(via.lo, via.hi)
-        over = (
-            graph.via_demand[segment, via.x, via.y]
-            > graph.via_capacity[segment, via.x, via.y]
-        )
-        if bool(np.any(over)):
-            return True
-    return False
+    return route_touches_overflow(route, overflow_masks(graph))
 
 
 def find_violating_nets(
     routes: Dict[str, Route], graph: GridGraph
 ) -> List[str]:
     """Return names of nets whose current route crosses an overflow."""
-    return [name for name, route in routes.items() if route_has_violation(route, graph)]
+    masks = overflow_masks(graph)
+    return [
+        name
+        for name, route in routes.items()
+        if route_touches_overflow(route, masks)
+    ]
 
 
 @dataclass
@@ -85,39 +107,69 @@ class RipupReroute:
     ) -> None:
         self.graph = graph
         self.nets = netlist_by_name
-        self.maze = MazeRouter(graph, cost_model or CostModel(), margin=margin)
+        self.cost_model = cost_model or CostModel()
+        self.margin = margin
+        self._local = threading.local()
+
+    @property
+    def maze(self) -> MazeRouter:
+        """This thread's maze router.
+
+        Each worker thread owns a router (hence a cost snapshot): a
+        concurrent task's rebuild can then never replace the snapshot
+        another task is searching.  Costs the search reads are region
+        slices of elementwise edge costs, so they depend only on the
+        region's demand — which only conflicting (i.e. serialized)
+        tasks touch.
+        """
+        maze = getattr(self._local, "maze", None)
+        if maze is None:
+            maze = MazeRouter(self.graph, self.cost_model, margin=self.margin)
+            self._local.maze = maze
+        return maze
+
+    def rip_and_reroute(
+        self, routes: Dict[str, Route], name: str
+    ) -> Optional[Route]:
+        """Rip up net ``name`` and maze-reroute it against current demand.
+
+        Commits the new route's demand and returns it; on maze failure
+        the old route (and its demand) is restored and None is returned
+        — a production router counts the failure rather than crashing.
+        The caller owns updating ``routes``.
+        """
+        net = self.nets[name]
+        old_route = routes[name]
+        old_route.uncommit(self.graph)
+        try:
+            new_route = self.maze.route_net(net)
+        except MazeRoutingError:
+            old_route.commit(self.graph)
+            return None
+        new_route.commit(self.graph)
+        return new_route
 
     def reroute(
         self,
         routes: Dict[str, Route],
         ordered_names: List[str],
     ) -> RipupStats:
-        """Reroute ``ordered_names`` in order, updating ``routes`` in place.
-
-        A net whose maze search fails keeps its old route (and its
-        violations) — counted in the stats rather than crashing the
-        flow, as a production router must.
-        """
+        """Reroute ``ordered_names`` in order, updating ``routes`` in place."""
         stats = RipupStats(n_ripped=len(ordered_names))
         for name in ordered_names:
-            net = self.nets[name]
-            old_route = routes[name]
-            old_route.uncommit(self.graph)
             start = time.perf_counter()
-            try:
-                new_route = self.maze.route_net(net)
-            except MazeRoutingError:
-                old_route.commit(self.graph)
-                stats.n_failed += 1
-                stats.task_durations[name] = time.perf_counter() - start
-                continue
-            new_route.commit(self.graph)
-            routes[name] = new_route
+            new_route = self.rip_and_reroute(routes, name)
             stats.task_durations[name] = time.perf_counter() - start
+            if new_route is None:
+                stats.n_failed += 1
+            else:
+                routes[name] = new_route
         return stats
 
 
 __all__ = [
+    "overflow_masks",
+    "route_touches_overflow",
     "route_has_violation",
     "find_violating_nets",
     "RipupStats",

@@ -87,11 +87,23 @@ class BatchPatternRouter:
         return NetRoutingJob(net, tree, order_tree(tree))
 
     def route_batch(
-        self, nets: List[Net], mode_fn: ModeSelector
+        self,
+        nets: List[Net],
+        mode_fn: ModeSelector,
+        cost_boxes=None,
+        cost_reference=None,
     ) -> Dict[str, Route]:
-        """Route a conflict-free batch; commit demand; return routes."""
-        self.query.rebuild()
-        self._account_cost_upload()
+        """Route a conflict-free batch; commit demand; return routes.
+
+        With ``cost_boxes``/``cost_reference`` the snapshot is masked to
+        the batch's bounding boxes (costs elsewhere pinned to the
+        stage-start reference) — see
+        :meth:`~repro.grid.cost.CostQuery.rebuild`.  The scheduler uses
+        this so the batch's DP depends only on demand its conflicting
+        predecessors committed, bit for bit.
+        """
+        self.query.rebuild(boxes=cost_boxes, reference=cost_reference)
+        self._account_cost_upload(cost_boxes)
         jobs = [self.make_job(net) for net in nets]
         self.route_jobs(jobs, mode_fn)
         routes: Dict[str, Route] = {}
@@ -225,12 +237,30 @@ class BatchPatternRouter:
     # ------------------------------------------------------------------ #
     # Transfer accounting
     # ------------------------------------------------------------------ #
-    def _account_cost_upload(self) -> None:
-        """Record the cost-snapshot upload the device reads per batch."""
+    def _account_cost_upload(self, cost_boxes=None) -> None:
+        """Record the cost-snapshot upload the device reads per batch.
+
+        A masked rebuild only refreshes the edges inside the batch's
+        boxes, so only those bytes cross the bus (the zero-copy arena
+        streams deltas, not whole tables).
+        """
         n_bytes = 0
-        for layer in range(self.graph.n_layers):
-            n_bytes += self.query.wire_cost[layer].nbytes
-        n_bytes += self.query.via_cost.nbytes
+        if cost_boxes is None:
+            for layer in range(self.graph.n_layers):
+                n_bytes += self.query.wire_cost[layer].nbytes
+            n_bytes += self.query.via_cost.nbytes
+        else:
+            itemsize = self.query.via_cost.itemsize
+            n_vias = max(self.graph.n_layers - 1, 0)
+            for box in cost_boxes:
+                width = box.xhi - box.xlo + 1
+                height = box.yhi - box.ylo + 1
+                for layer in range(self.graph.n_layers):
+                    if self.graph.stack.is_horizontal(layer):
+                        n_bytes += max(width - 1, 0) * height * itemsize
+                    else:
+                        n_bytes += width * max(height - 1, 0) * itemsize
+                n_bytes += n_vias * width * height * itemsize
         self.arena.send(n_bytes)
 
 

@@ -17,6 +17,16 @@ from repro.sched.executor import (
     simulate_batch_barrier_makespan,
     simulate_makespan,
 )
+from repro.sched.pipeline import (
+    EXECUTION_POLICIES,
+    ScheduledStage,
+    StageReport,
+    StageRunner,
+    StageSchedule,
+    build_group_conflict_graph,
+    extract_conflict_batches,
+    modelled_makespans,
+)
 
 __all__ = [
     "SORTING_SCHEMES",
@@ -29,4 +39,12 @@ __all__ = [
     "TaskGraphExecutor",
     "simulate_makespan",
     "simulate_batch_barrier_makespan",
+    "EXECUTION_POLICIES",
+    "ScheduledStage",
+    "StageSchedule",
+    "StageReport",
+    "StageRunner",
+    "build_group_conflict_graph",
+    "extract_conflict_batches",
+    "modelled_makespans",
 ]

@@ -2,10 +2,12 @@
 
 Given sorted nets, repeatedly greedily collect a maximal conflict-free
 batch: take the first remaining net, then scan the remainder in order,
-admitting every net whose bounding box overlaps no admitted net.  Each
-batch becomes one routing task of the pattern stage (one GPU kernel
-launch, Fig. 7); successive batches conflict by construction, so the
-task graph over batches is a chain.
+admitting every net whose bounding box overlaps no admitted net.  Note
+that whole maximal batches pairwise conflict by construction (every
+member of a later batch was a leftover of every earlier round), so the
+pattern stage splits them into size-capped sibling chunks before
+handing them to the task-graph scheduler — see
+:class:`~repro.core.flow.PatternStage`.
 
 The no-conflict test uses an occupancy bitmap over G-cells, making one
 full extraction O(total bounding-box area) instead of O(n^2).

@@ -18,13 +18,21 @@ from __future__ import annotations
 
 import heapq
 import threading
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.sched.taskgraph import TaskGraph
 
 
 class TaskGraphExecutor:
-    """Runs tasks respecting DAG precedence with a bounded worker pool."""
+    """Runs tasks respecting DAG precedence with a bounded worker pool.
+
+    ``on_complete`` (when given) is invoked under the executor lock
+    *before* any successor of the task can start: state it commits is
+    visible to every dependent task.  ``events`` (when given) receives
+    ``("start", task)`` / ``("finish", task)`` tuples appended under the
+    same lock, so list positions are a consistent global tick ordering —
+    two tasks overlapped iff each started before the other finished.
+    """
 
     def __init__(self, n_workers: int = 4) -> None:
         if n_workers < 1:
@@ -36,6 +44,7 @@ class TaskGraphExecutor:
         graph: TaskGraph,
         task_fn: Callable[[int], None],
         on_complete: Optional[Callable[[int], None]] = None,
+        events: Optional[List[Tuple[str, int]]] = None,
     ) -> List[int]:
         """Execute ``task_fn(task_id)`` for every task; return start order."""
         indegree = list(graph.n_predecessors)
@@ -46,20 +55,32 @@ class TaskGraphExecutor:
         started: List[int] = []
         running = [0]
         finished = [0]
+        stalled = [False]
         errors: List[BaseException] = []
 
         def worker() -> None:
             while True:
                 with done:
-                    while not ready and finished[0] + running[0] < graph.n_tasks:
-                        if errors:
+                    while True:
+                        if errors or stalled[0]:
+                            done.notify_all()
+                            return
+                        if ready:
+                            break
+                        if finished[0] >= graph.n_tasks:
+                            done.notify_all()
+                            return
+                        if running[0] == 0:
+                            # Nothing ready, nothing running, tasks left:
+                            # every remaining task waits on a cycle.
+                            stalled[0] = True
+                            done.notify_all()
                             return
                         done.wait()
-                    if errors or (not ready and finished[0] >= graph.n_tasks):
-                        done.notify_all()
-                        return
                     task = heapq.heappop(ready)
                     started.append(task)
+                    if events is not None:
+                        events.append(("start", task))
                     running[0] += 1
                 try:
                     task_fn(task)
@@ -76,7 +97,15 @@ class TaskGraphExecutor:
                         if indegree[succ] == 0:
                             heapq.heappush(ready, succ)
                     if on_complete is not None:
-                        on_complete(task)
+                        try:
+                            on_complete(task)
+                        except BaseException as exc:
+                            # Successors were pushed but cannot be popped:
+                            # the error is recorded in the same critical
+                            # section, so waking workers exit instead.
+                            errors.append(exc)
+                    if events is not None:
+                        events.append(("finish", task))
                     done.notify_all()
 
         threads = [
@@ -89,8 +118,8 @@ class TaskGraphExecutor:
             thread.join()
         if errors:
             raise errors[0]
-        if len(started) != graph.n_tasks:
-            raise RuntimeError("executor deadlocked (cyclic graph?)")
+        if stalled[0] or len(started) != graph.n_tasks:
+            raise RuntimeError("executor deadlocked (cyclic task graph?)")
         return started
 
 

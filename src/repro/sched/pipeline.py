@@ -1,0 +1,309 @@
+"""The scheduled-stage pipeline: one scheduler for both routing stages.
+
+The paper applies the heterogeneous task-graph scheduler to *both*
+stages of the flow (Fig. 5): pattern-routing batches and maze-reroute
+nets are just tasks with a spatial conflict relation.  This module is
+the single place that turns a stage into scheduled execution:
+
+1. a :class:`ScheduledStage` describes the tasks — each task owns a set
+   of bounding boxes (its conflict footprint), a ``run_task`` body and a
+   ``commit_task`` that publishes the result;
+2. :meth:`StageRunner.schedule` builds the conflict graph over those
+   footprints, the ordered task graph (Algorithm 1 + Fig. 6) and the
+   batch partition the barrier baseline would use;
+3. :meth:`StageRunner.run` executes the stage under a pluggable policy:
+
+   * ``"threaded"`` — the real :class:`TaskGraphExecutor` drains the
+     DAG with a worker pool; ``commit_task`` runs in the executor's
+     completion hook, i.e. serialized and strictly before any dependent
+     task starts, so conflict-free concurrency stays exact;
+   * ``"ordered"`` — the deterministic topological order on one worker
+     (the reference semantics every threaded run must reproduce
+     bit for bit).
+
+Either way the runner emits a :class:`StageReport`: measured per-task
+durations, a start/finish tick timeline, and the two modelled makespans
+(task-graph vs batch-barrier) the paper's Table VIII compares.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.grid.geometry import Rect
+from repro.sched.conflict import ConflictGraph
+from repro.sched.executor import (
+    TaskGraphExecutor,
+    simulate_batch_barrier_makespan,
+    simulate_makespan,
+)
+from repro.sched.taskgraph import TaskGraph, build_task_graph
+
+EXECUTION_POLICIES = ("ordered", "threaded")
+
+
+class ScheduledStage:
+    """A stage of the flow expressed as schedulable tasks.
+
+    Subclasses define the task list implicitly through
+    :meth:`task_boxes` (one footprint — a sequence of rectangles — per
+    task; tasks conflict when their footprints overlap) and provide the
+    task body.  ``run_task`` may execute concurrently with other
+    non-conflicting tasks under the threaded policy and must not
+    publish shared results itself; ``commit_task`` is always serialized
+    and ordered before any conflicting successor runs.
+    """
+
+    name: str = "stage"
+
+    def task_boxes(self) -> Sequence[Sequence[Rect]]:
+        """Return each task's conflict footprint (its bounding boxes)."""
+        raise NotImplementedError
+
+    def task_label(self, task: int) -> str:
+        """Return a stable human-readable name for ``task``."""
+        return str(task)
+
+    def prepare(self) -> None:
+        """Reset per-run state; called once before execution starts."""
+
+    def run_task(self, task: int) -> object:
+        """Execute ``task``; return its result for :meth:`commit_task`."""
+        raise NotImplementedError
+
+    def commit_task(self, task: int, result: object) -> None:
+        """Publish ``result``; serialized, before successors start."""
+
+
+def build_group_conflict_graph(
+    groups: Sequence[Sequence[Rect]], bin_size: int = 16
+) -> ConflictGraph:
+    """Conflict graph over box *groups*: tasks conflict when any box of
+    one overlaps any box of the other.
+
+    Same spatial binning as
+    :func:`~repro.sched.conflict.build_conflict_graph` (which is the
+    single-box special case), kept exact: all and only overlapping
+    groups become edges.
+    """
+    if bin_size < 1:
+        raise ValueError("bin_size must be >= 1")
+    graph = ConflictGraph(len(groups))
+    bins: Dict[Tuple[int, int], List[Tuple[int, Rect]]] = {}
+    for index, boxes in enumerate(groups):
+        for box in boxes:
+            for bx in range(box.xlo // bin_size, box.xhi // bin_size + 1):
+                for by in range(box.ylo // bin_size, box.yhi // bin_size + 1):
+                    bins.setdefault((bx, by), []).append((index, box))
+    for members in bins.values():
+        for i in range(len(members)):
+            a, abox = members[i]
+            for j in range(i + 1, len(members)):
+                b, bbox = members[j]
+                if a == b or graph.are_conflicting(a, b):
+                    continue
+                if abox.overlaps(bbox):
+                    graph.add_conflict(a, b)
+    return graph
+
+
+def extract_conflict_batches(conflicts: ConflictGraph) -> List[List[int]]:
+    """Greedy maximal conflict-free batches over an explicit conflict
+    graph (Algorithm 1 semantics — the barrier baseline's partition)."""
+    remaining = list(range(conflicts.n_tasks))
+    batches: List[List[int]] = []
+    while remaining:
+        chosen: set = set()
+        batch: List[int] = []
+        leftovers: List[int] = []
+        for task in remaining:
+            if conflicts.conflicts_of(task) & chosen:
+                leftovers.append(task)
+            else:
+                chosen.add(task)
+                batch.append(task)
+        batches.append(batch)
+        remaining = leftovers
+    return batches
+
+
+@dataclass
+class StageSchedule:
+    """Everything the scheduler derived from a stage's footprints."""
+
+    boxes: List[List[Rect]]
+    conflicts: ConflictGraph
+    task_graph: TaskGraph
+    batches: List[List[int]]
+
+    @property
+    def n_tasks(self) -> int:
+        return self.task_graph.n_tasks
+
+
+@dataclass
+class StageReport:
+    """Uniform execution record of one scheduled stage run."""
+
+    stage: str
+    policy: str
+    n_workers: int
+    n_tasks: int
+    n_conflicts: int
+    n_batches: int
+    task_durations: List[float] = field(default_factory=list)
+    # Global tick (index into the unified event timeline) at which each
+    # task started / finished; two tasks overlapped iff each started
+    # before the other finished.
+    start_ticks: List[int] = field(default_factory=list)
+    finish_ticks: List[int] = field(default_factory=list)
+    taskgraph_makespan: float = 0.0
+    batch_makespan: float = 0.0
+    schedule: Optional[StageSchedule] = None
+
+    @property
+    def sequential_time(self) -> float:
+        """Sum of per-task durations (the 1-worker makespan)."""
+        return sum(self.task_durations)
+
+    @property
+    def scheduler_speedup(self) -> float:
+        """Batch-barrier / task-graph makespan (the Table VIII ratio)."""
+        if self.taskgraph_makespan <= 0:
+            return 1.0
+        return self.batch_makespan / self.taskgraph_makespan
+
+    def makespan(self, strategy: str) -> float:
+        """Modelled makespan under ``"taskgraph"`` or ``"batch"``."""
+        if strategy not in ("taskgraph", "batch"):
+            raise ValueError(f"unknown parallel strategy {strategy!r}")
+        return (
+            self.taskgraph_makespan
+            if strategy == "taskgraph"
+            else self.batch_makespan
+        )
+
+    def overlapped(self, a: int, b: int) -> bool:
+        """Return True when tasks ``a`` and ``b`` ran concurrently."""
+        return (
+            self.start_ticks[a] < self.finish_ticks[b]
+            and self.start_ticks[b] < self.finish_ticks[a]
+        )
+
+
+def modelled_makespans(
+    schedule: StageSchedule, durations: Sequence[float], n_workers: int
+) -> Tuple[float, float]:
+    """Return ``(task-graph, batch-barrier)`` makespans of a schedule."""
+    dag = simulate_makespan(schedule.task_graph, durations, n_workers)
+    barrier = simulate_batch_barrier_makespan(
+        schedule.batches, durations, n_workers
+    )
+    return dag, barrier
+
+
+class StageRunner:
+    """Schedules and executes :class:`ScheduledStage` instances."""
+
+    def __init__(
+        self, policy: str = "ordered", n_workers: int = 8, bin_size: int = 16
+    ) -> None:
+        if policy not in EXECUTION_POLICIES:
+            raise ValueError(
+                f"unknown execution policy {policy!r}; expected one of "
+                f"{', '.join(EXECUTION_POLICIES)}"
+            )
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.policy = policy
+        self.n_workers = n_workers
+        self.bin_size = bin_size
+
+    def schedule(self, stage: ScheduledStage) -> StageSchedule:
+        """Build conflict graph, ordered task graph and batch partition."""
+        boxes = [list(group) for group in stage.task_boxes()]
+        conflicts = build_group_conflict_graph(boxes, self.bin_size)
+        return StageSchedule(
+            boxes=boxes,
+            conflicts=conflicts,
+            task_graph=build_task_graph(conflicts),
+            batches=extract_conflict_batches(conflicts),
+        )
+
+    def run(
+        self, stage: ScheduledStage, schedule: Optional[StageSchedule] = None
+    ) -> StageReport:
+        """Execute ``stage`` under this runner's policy; return report."""
+        if schedule is None:
+            schedule = self.schedule(stage)
+        n = schedule.n_tasks
+        stage.prepare()
+        durations = [0.0] * n
+        events: List[Tuple[str, int]] = []
+
+        if n > 0 and self.policy == "threaded":
+            results: List[object] = [None] * n
+
+            def task_fn(task: int) -> None:
+                start = time.perf_counter()
+                results[task] = stage.run_task(task)
+                durations[task] = time.perf_counter() - start
+
+            def on_complete(task: int) -> None:
+                stage.commit_task(task, results[task])
+                results[task] = None  # release the reference early
+
+            TaskGraphExecutor(self.n_workers).run(
+                schedule.task_graph, task_fn, on_complete=on_complete,
+                events=events,
+            )
+        elif n > 0:
+            for task in schedule.task_graph.topological_order():
+                events.append(("start", task))
+                start = time.perf_counter()
+                result = stage.run_task(task)
+                durations[task] = time.perf_counter() - start
+                stage.commit_task(task, result)
+                events.append(("finish", task))
+
+        start_ticks = [-1] * n
+        finish_ticks = [-1] * n
+        for tick, (kind, task) in enumerate(events):
+            if kind == "start":
+                start_ticks[task] = tick
+            else:
+                finish_ticks[task] = tick
+
+        taskgraph_makespan, batch_makespan = (
+            modelled_makespans(schedule, durations, self.n_workers)
+            if n > 0
+            else (0.0, 0.0)
+        )
+        return StageReport(
+            stage=stage.name,
+            policy=self.policy,
+            n_workers=self.n_workers,
+            n_tasks=n,
+            n_conflicts=schedule.conflicts.n_conflicts(),
+            n_batches=len(schedule.batches),
+            task_durations=durations,
+            start_ticks=start_ticks,
+            finish_ticks=finish_ticks,
+            taskgraph_makespan=taskgraph_makespan,
+            batch_makespan=batch_makespan,
+            schedule=schedule,
+        )
+
+
+__all__ = [
+    "EXECUTION_POLICIES",
+    "ScheduledStage",
+    "StageSchedule",
+    "StageReport",
+    "StageRunner",
+    "build_group_conflict_graph",
+    "extract_conflict_batches",
+    "modelled_makespans",
+]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -98,6 +99,106 @@ class TestExecutor:
             graph, lambda t: None, on_complete=completed.append
         )
         assert sorted(completed) == [0, 1, 2]
+
+
+class TestExecutorFailurePaths:
+    def test_cyclic_graph_raises_instead_of_hanging(self):
+        graph = TaskGraph(2, [], [[1], [0]], [1, 1])
+        with pytest.raises(RuntimeError, match="deadlock"):
+            TaskGraphExecutor(n_workers=2).run(graph, lambda t: None)
+
+    def test_cycle_behind_valid_prefix(self):
+        # 0 -> 1 <-> 2: task 0 completes, then the cycle stalls the pool.
+        graph = TaskGraph(3, [0], [[1], [2], [1]], [0, 2, 1])
+        ran = []
+        with pytest.raises(RuntimeError, match="deadlock"):
+            TaskGraphExecutor(n_workers=4).run(graph, ran.append)
+        assert ran == [0]
+
+    def test_worker_exception_stops_pool_promptly(self):
+        """Every worker must exit after a failure, not wait forever."""
+        conflicts = ConflictGraph(20)
+        for task in range(1, 20):
+            conflicts.add_conflict(0, task)  # star: all wait on task 0
+        graph = build_task_graph(conflicts)
+
+        def work(task):
+            raise ValueError(f"boom-{task}")
+
+        with pytest.raises(ValueError, match="boom-0"):
+            TaskGraphExecutor(n_workers=8).run(graph, work)
+
+    def test_on_complete_exception_propagates(self):
+        graph = chain_graph(3)
+        ran = []
+
+        def on_complete(task):
+            raise KeyError("commit failed")
+
+        with pytest.raises(KeyError, match="commit failed"):
+            TaskGraphExecutor(n_workers=2).run(graph, ran.append, on_complete)
+        # The failed commit's successor must never start.
+        assert ran == [0]
+
+    def test_exception_after_partial_progress(self):
+        graph = chain_graph(5)
+
+        def work(task):
+            if task == 3:
+                raise RuntimeError("late boom")
+
+        with pytest.raises(RuntimeError, match="late boom"):
+            TaskGraphExecutor(n_workers=4).run(graph, work)
+
+    def test_conflicting_tasks_never_overlap_stress(self):
+        """>=8 workers and a dense random conflict graph with real
+        sleeps: no conflicting pair may ever be active together."""
+        import random
+
+        rng = random.Random(1234)
+        n = 48
+        conflicts = ConflictGraph(n)
+        for a in range(n):
+            for b in range(a + 1, n):
+                if rng.random() < 0.15:
+                    conflicts.add_conflict(a, b)
+        graph = build_task_graph(conflicts)
+
+        active = set()
+        lock = threading.Lock()
+        violations = []
+
+        def work(task):
+            with lock:
+                for other in active:
+                    if conflicts.are_conflicting(task, other):
+                        violations.append((task, other))
+                active.add(task)
+            time.sleep(rng.random() * 0.003)
+            with lock:
+                active.discard(task)
+
+        events = []
+        TaskGraphExecutor(n_workers=12).run(graph, work, events=events)
+        assert violations == []
+        # The recorded timeline agrees with the instrumented check.
+        start = {}
+        finish = {}
+        for tick, (kind, task) in enumerate(events):
+            (start if kind == "start" else finish)[task] = tick
+        for a, b in conflicts.edges():
+            overlapped = start[a] < finish[b] and start[b] < finish[a]
+            assert not overlapped, (a, b)
+
+    def test_events_timeline_consistent(self):
+        graph = chain_graph(4)
+        events = []
+        TaskGraphExecutor(n_workers=4).run(graph, lambda t: None, events=events)
+        assert len(events) == 8
+        # A chain runs strictly sequentially: start/finish alternate.
+        assert events == [
+            (kind, task) for task in range(4) for kind in ("start", "finish")
+        ]
 
 
 class TestSimulatedMakespan:

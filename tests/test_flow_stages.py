@@ -33,12 +33,12 @@ def design(congested=False, seed=21):
 class TestPatternStage:
     def test_routes_every_net(self):
         d = design()
-        routes = run_pattern_stage(d, RouterConfig.fastgr_l(), Device(), ZeroCopyArena())
+        routes, _ = run_pattern_stage(d, RouterConfig.fastgr_l(), Device(), ZeroCopyArena())
         assert set(routes) == {net.name for net in d.netlist}
 
     def test_demand_committed(self):
         d = design()
-        routes = run_pattern_stage(d, RouterConfig.fastgr_l(), Device(), ZeroCopyArena())
+        routes, _ = run_pattern_stage(d, RouterConfig.fastgr_l(), Device(), ZeroCopyArena())
         total_wl = sum(route.wirelength for route in routes.values())
         committed = sum(float(d.graph.wire_demand[l].sum()) for l in range(d.n_layers))
         assert committed == pytest.approx(total_wl)
@@ -49,6 +49,17 @@ class TestPatternStage:
         batches = extract_batches([n.bbox for n in nets], d.graph.nx, d.graph.ny)
         flat = sorted(i for batch in batches for i in batch)
         assert flat == list(range(len(nets)))
+
+    def test_pattern_report_covers_all_chunks(self):
+        d = design()
+        config = RouterConfig.fastgr_l(max_batch_tasks=8)
+        _routes, report = run_pattern_stage(d, config, Device(), ZeroCopyArena())
+        assert report.stage == "pattern"
+        assert report.policy == config.executor
+        assert report.n_tasks >= len(d.netlist) / 8
+        assert len(report.task_durations) == report.n_tasks
+        assert all(t >= 0 for t in report.start_ticks)
+        assert all(t >= 0 for t in report.finish_ticks)
 
     def test_device_records_when_batch_engine(self):
         d = design()
@@ -76,7 +87,7 @@ class TestPatternStage:
 class TestRRRStage:
     def _pattern_routed(self, config):
         d = design(congested=True)
-        routes = run_pattern_stage(d, config, Device(), ZeroCopyArena())
+        routes, _ = run_pattern_stage(d, config, Device(), ZeroCopyArena())
         return d, routes
 
     def test_reports_initial_violations(self):
@@ -109,6 +120,29 @@ class TestRRRStage:
         wire, via = snapshot
         for layer in range(d.n_layers):
             assert np.array_equal(d.graph.wire_demand[layer], wire[layer])
+
+    def test_no_violations_returns_zero_without_stats(self):
+        spec = DesignSpec(
+            name="flow-sparse", nx=20, ny=20, n_layers=5, n_nets=10,
+            wire_capacity=10.0, hotspot_fraction=0.0, seed=5,
+        )
+        d = generate_design(spec)
+        config = RouterConfig.fastgr_l()
+        routes, _ = run_pattern_stage(d, config, Device(), ZeroCopyArena())
+        assert find_violating_nets(routes, d.graph) == []
+        initial, iterations = run_rrr_stage(d, config, routes)
+        assert initial == 0
+        assert iterations == []
+
+    def test_iteration_numbering_consecutive(self):
+        config = RouterConfig.fastgr_l()
+        d, routes = self._pattern_routed(config)
+        _initial, iterations = run_rrr_stage(d, config, routes)
+        assert [it.iteration for it in iterations] == list(range(len(iterations)))
+        for it in iterations:
+            assert it.report is not None
+            assert it.report.stage == "maze"
+            assert it.report.n_tasks == it.n_ripped
 
     def test_rrr_scheme_override_changes_order(self):
         config_a = RouterConfig.fastgr_l(rrr_sorting_scheme="hpwl_asc")

@@ -1,0 +1,391 @@
+"""Tests for the scheduled-stage pipeline (repro.sched.pipeline)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.core.flow import PatternStage, run_pattern_stage
+from repro.core.router import GlobalRouter
+from repro.gpu.device import Device
+from repro.gpu.zerocopy import ZeroCopyArena
+from repro.grid.geometry import Rect
+from repro.netlist.benchmarks import load_benchmark
+from repro.netlist.generator import DesignSpec, generate_design
+from repro.sched.batching import extract_batches
+from repro.sched.conflict import build_conflict_graph
+from repro.sched.pipeline import (
+    EXECUTION_POLICIES,
+    ScheduledStage,
+    StageRunner,
+    build_group_conflict_graph,
+    extract_conflict_batches,
+    modelled_makespans,
+)
+from repro.sched.sorting import sort_nets
+from repro.sched.taskgraph import build_task_graph
+from repro.utils.rng import make_rng
+
+
+def random_groups(n_tasks, seed=0, span=60, max_boxes=2):
+    rng = make_rng(("pipeline-boxes", seed))
+    groups = []
+    for _ in range(n_tasks):
+        boxes = []
+        for _ in range(int(rng.integers(1, max_boxes + 1))):
+            x = int(rng.integers(0, span))
+            y = int(rng.integers(0, span))
+            w = int(rng.integers(0, 10))
+            h = int(rng.integers(0, 10))
+            boxes.append(Rect(x, y, min(x + w, span), min(y + h, span)))
+        groups.append(boxes)
+    return groups
+
+
+class BoxStage(ScheduledStage):
+    """Synthetic stage: tasks own boxes, record execution, commit order."""
+
+    name = "synthetic"
+
+    def __init__(self, groups, work=None):
+        self._groups = groups
+        self._work = work
+        self.committed = []
+
+    def task_boxes(self):
+        return self._groups
+
+    def run_task(self, task):
+        if self._work is not None:
+            self._work(task)
+        return task * task
+
+    def commit_task(self, task, result):
+        self.committed.append((task, result))
+
+
+class TestGroupConflictGraph:
+    def test_matches_brute_force(self):
+        groups = random_groups(40, seed=3)
+        graph = build_group_conflict_graph(groups)
+        for a in range(len(groups)):
+            for b in range(a + 1, len(groups)):
+                expected = any(
+                    ba.overlaps(bb) for ba in groups[a] for bb in groups[b]
+                )
+                assert graph.are_conflicting(a, b) == expected, (a, b)
+
+    def test_single_box_groups_match_plain_conflict_graph(self):
+        groups = random_groups(30, seed=9, max_boxes=1)
+        boxes = [g[0] for g in groups]
+        grouped = build_group_conflict_graph(groups)
+        plain = build_conflict_graph(boxes)
+        assert sorted(grouped.edges()) == sorted(plain.edges())
+
+    def test_bin_size_validation(self):
+        with pytest.raises(ValueError):
+            build_group_conflict_graph([], bin_size=0)
+
+
+class TestConflictBatches:
+    def test_batches_partition_and_are_independent(self):
+        groups = random_groups(50, seed=4)
+        conflicts = build_group_conflict_graph(groups)
+        batches = extract_conflict_batches(conflicts)
+        flat = sorted(i for batch in batches for i in batch)
+        assert flat == list(range(50))
+        for batch in batches:
+            assert conflicts.is_independent_set(batch)
+
+    def test_first_batch_is_root_batch(self):
+        groups = random_groups(50, seed=5)
+        conflicts = build_group_conflict_graph(groups)
+        batches = extract_conflict_batches(conflicts)
+        assert batches[0] == build_task_graph(conflicts).root_batch
+
+    def test_matches_occupancy_batching_for_single_boxes(self):
+        """Same greedy rounds as Algorithm 1's bitmap implementation."""
+        groups = random_groups(40, seed=6, max_boxes=1)
+        boxes = [g[0] for g in groups]
+        conflicts = build_group_conflict_graph(groups)
+        assert extract_conflict_batches(conflicts) == extract_batches(
+            boxes, 80, 80
+        )
+
+
+class TestStageRunner:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            StageRunner(policy="magic")
+        with pytest.raises(ValueError):
+            StageRunner(n_workers=0)
+
+    @pytest.mark.parametrize("policy", EXECUTION_POLICIES)
+    def test_runs_and_commits_every_task(self, policy):
+        stage = BoxStage(random_groups(30, seed=7))
+        report = StageRunner(policy=policy, n_workers=8).run(stage)
+        assert sorted(t for t, _ in stage.committed) == list(range(30))
+        assert all(result == t * t for t, result in stage.committed)
+        assert report.n_tasks == 30
+        assert len(report.task_durations) == 30
+        assert min(report.start_ticks) >= 0
+        assert min(report.finish_ticks) >= 0
+
+    @pytest.mark.parametrize("policy", EXECUTION_POLICIES)
+    def test_empty_stage(self, policy):
+        report = StageRunner(policy=policy).run(BoxStage([]))
+        assert report.n_tasks == 0
+        assert report.taskgraph_makespan == 0.0
+        assert report.batch_makespan == 0.0
+        assert report.sequential_time == 0.0
+
+    def test_ordered_commits_in_topological_order(self):
+        groups = random_groups(25, seed=8)
+        stage = BoxStage(groups)
+        runner = StageRunner(policy="ordered")
+        schedule = runner.schedule(stage)
+        runner.run(stage, schedule=schedule)
+        order = [t for t, _ in stage.committed]
+        assert order == schedule.task_graph.topological_order()
+
+    @pytest.mark.parametrize("policy", EXECUTION_POLICIES)
+    def test_makespans_bounded(self, policy):
+        stage = BoxStage(random_groups(20, seed=11))
+        runner = StageRunner(policy=policy, n_workers=4)
+        report = runner.run(stage)
+        assert report.taskgraph_makespan <= report.sequential_time + 1e-9
+        assert report.batch_makespan <= report.sequential_time + 1e-9
+        assert report.scheduler_speedup >= 0
+
+    def test_modelled_makespans_helper(self):
+        stage = BoxStage(random_groups(15, seed=12))
+        runner = StageRunner()
+        schedule = runner.schedule(stage)
+        durations = [1.0] * 15
+        dag, barrier = modelled_makespans(schedule, durations, 4)
+        assert dag <= barrier + 1e-9
+
+    def test_report_makespan_strategy(self):
+        stage = BoxStage(random_groups(10, seed=13))
+        report = StageRunner(policy="ordered").run(stage)
+        assert report.makespan("taskgraph") == report.taskgraph_makespan
+        assert report.makespan("batch") == report.batch_makespan
+        with pytest.raises(ValueError):
+            report.makespan("magic")
+
+
+class TestThreadedPolicy:
+    def test_conflicting_tasks_never_overlap_stress(self):
+        """>=8 workers, real sleeps: conflicting tasks must serialize."""
+        groups = random_groups(60, seed=21, span=100)
+        stage_probe = BoxStage(groups)
+        runner = StageRunner(policy="threaded", n_workers=12)
+        schedule = runner.schedule(stage_probe)
+
+        active = set()
+        lock = threading.Lock()
+        violations = []
+
+        def work(task):
+            with lock:
+                for other in active:
+                    if schedule.conflicts.are_conflicting(task, other):
+                        violations.append((task, other))
+                active.add(task)
+            time.sleep(0.002)
+            with lock:
+                active.discard(task)
+
+        stage = BoxStage(groups, work=work)
+        report = runner.run(stage, schedule=schedule)
+        assert violations == []
+        # The recorded timeline must agree: no conflicting pair overlaps.
+        for a, b in schedule.conflicts.edges():
+            assert not report.overlapped(a, b), (a, b)
+
+    def test_commit_precedes_conflicting_successor(self):
+        """A task must see every conflicting predecessor's commit."""
+        groups = random_groups(40, seed=22)
+        runner = StageRunner(policy="threaded", n_workers=8)
+        probe = BoxStage(groups)
+        schedule = runner.schedule(probe)
+        committed = set()
+        lock = threading.Lock()
+        missing = []
+
+        class CommitCheckStage(BoxStage):
+            def run_task(self, task):
+                with lock:
+                    for pred in schedule.task_graph._predecessors_of(task):
+                        if pred not in committed:
+                            missing.append((pred, task))
+                return super().run_task(task)
+
+            def commit_task(self, task, result):
+                committed.add(task)
+                super().commit_task(task, result)
+
+        runner.run(CommitCheckStage(groups), schedule=schedule)
+        assert missing == []
+
+    def test_non_conflicting_tasks_do_overlap(self):
+        """Deterministic overlap proof: task 0 refuses to finish until
+        task 1 has started, which only a schedule without a 0->1 chain
+        dependency allows."""
+        groups = [[Rect(0, 0, 4, 4)], [Rect(20, 20, 24, 24)], [Rect(0, 0, 3, 3)]]
+        partner_started = threading.Event()
+
+        def work(task):
+            if task == 0:
+                assert partner_started.wait(timeout=30), (
+                    "task 1 never started while task 0 ran - chain dependency?"
+                )
+            elif task == 1:
+                partner_started.set()
+
+        stage = BoxStage(groups, work=work)
+        runner = StageRunner(policy="threaded", n_workers=4)
+        schedule = runner.schedule(stage)
+        assert not schedule.conflicts.are_conflicting(0, 1)
+        assert schedule.conflicts.are_conflicting(0, 2)
+        report = runner.run(stage, schedule=schedule)
+        assert report.overlapped(0, 1)
+        assert not report.overlapped(0, 2)
+
+    def test_run_task_exception_propagates(self):
+        def work(task):
+            if task == 3:
+                raise RuntimeError("stage boom")
+
+        stage = BoxStage(random_groups(8, seed=23), work=work)
+        with pytest.raises(RuntimeError, match="stage boom"):
+            StageRunner(policy="threaded", n_workers=4).run(stage)
+
+
+def small_design(seed=7):
+    return generate_design(
+        DesignSpec(
+            name="pipe-congested",
+            nx=20,
+            ny=20,
+            n_layers=5,
+            n_nets=140,
+            wire_capacity=1.5,
+            hotspot_fraction=0.6,
+            seed=11,
+        )
+    )
+
+
+def assert_identical_results(design_a, result_a, design_b, result_b):
+    assert result_a.metrics == result_b.metrics
+    assert result_a.nets_to_ripup == result_b.nets_to_ripup
+    for layer in range(design_a.n_layers):
+        assert np.array_equal(
+            design_a.graph.wire_demand[layer], design_b.graph.wire_demand[layer]
+        )
+    assert np.array_equal(design_a.graph.via_demand, design_b.graph.via_demand)
+    assert set(result_a.routes) == set(result_b.routes)
+    for name, route in result_a.routes.items():
+        other = result_b.routes[name]
+        assert sorted(map(repr, route.wires)) == sorted(map(repr, other.wires))
+        assert sorted(map(repr, route.vias)) == sorted(map(repr, other.vias))
+
+
+PRESETS = [RouterConfig.cugr, RouterConfig.fastgr_l, RouterConfig.fastgr_h]
+SUITE = [("18test5", 0.1), ("19test7m", 0.12)]
+
+
+@pytest.mark.parametrize("preset", PRESETS, ids=lambda p: p.__name__)
+class TestStageEquivalence:
+    """`threaded` and `ordered` must be bit-identical on every preset."""
+
+    @pytest.mark.parametrize("name,scale", SUITE, ids=lambda v: str(v))
+    def test_suite_designs(self, preset, name, scale):
+        runs = {}
+        for policy in EXECUTION_POLICIES:
+            design = load_benchmark(name, scale=scale)
+            result = GlobalRouter(design, preset(executor=policy)).run()
+            runs[policy] = (design, result)
+        assert_identical_results(*runs["ordered"], *runs["threaded"])
+
+    def test_congested_design(self, preset):
+        runs = {}
+        for policy in EXECUTION_POLICIES:
+            design = small_design()
+            result = GlobalRouter(design, preset(executor=policy)).run()
+            runs[policy] = (design, result)
+        # Congested: several RRR iterations actually execute.
+        assert runs["ordered"][1].nets_to_ripup > 0
+        assert_identical_results(*runs["ordered"], *runs["threaded"])
+
+
+class TestPatternChainFreedom:
+    """Pattern chunks with non-conflicting boxes run without a chain."""
+
+    CONFIG_KW = dict(max_batch_tasks=8, n_workers=4)
+
+    def _stage(self, config):
+        design = small_design()
+        return design, PatternStage(design, config, Device(), ZeroCopyArena())
+
+    def test_sibling_chunks_have_no_dependency(self):
+        config = RouterConfig.fastgr_l(**self.CONFIG_KW)
+        design, stage = self._stage(config)
+        nets = sort_nets(list(design.netlist), config.sorting_scheme)
+        batches = extract_batches(
+            [n.bbox for n in nets], design.graph.nx, design.graph.ny
+        )
+        assert len(batches[0]) > config.max_batch_tasks  # chunks 0,1 siblings
+        runner = StageRunner(policy="threaded", n_workers=4)
+        schedule = runner.schedule(stage)
+        assert schedule.n_tasks > len(batches)
+        assert not schedule.conflicts.are_conflicting(0, 1)
+        graph = schedule.task_graph
+        assert 1 not in graph.successors[0] and 0 not in graph.successors[1]
+        assert 0 in graph.root_batch and 1 in graph.root_batch
+
+    def test_sibling_chunks_overlap_in_recorded_start_order(self):
+        """Deterministic: chunk 0 stalls until chunk 1 starts; only a
+        chain-free schedule lets the stage complete, and the recorded
+        ticks must show chunk 1 starting before chunk 0 finished."""
+        config = RouterConfig.fastgr_l(**self.CONFIG_KW)
+        design, stage = self._stage(config)
+        partner_started = threading.Event()
+        base_run_task = stage.run_task
+
+        def run_task(task):
+            if task == 1:
+                partner_started.set()
+            result = base_run_task(task)
+            if task == 0:
+                assert partner_started.wait(timeout=30), (
+                    "chunk 1 never started while chunk 0 ran"
+                )
+            return result
+
+        stage.run_task = run_task
+        runner = StageRunner(policy="threaded", n_workers=4)
+        schedule = runner.schedule(stage)
+        assert not schedule.conflicts.are_conflicting(0, 1)
+        report = runner.run(stage, schedule=schedule)
+        assert report.start_ticks[1] < report.finish_ticks[0]
+        assert report.overlapped(0, 1)
+
+        # The overlapping execution still routes exactly like ordered.
+        ordered_config = RouterConfig.fastgr_l(
+            executor="ordered", **self.CONFIG_KW
+        )
+        ordered_routes, _ = run_pattern_stage(
+            small_design(), ordered_config, Device(), ZeroCopyArena()
+        )
+        routes = {net.name: stage.routes[net.name] for net in design.netlist}
+        assert set(routes) == set(ordered_routes)
+        for name, route in routes.items():
+            other = ordered_routes[name]
+            assert sorted(map(repr, route.wires)) == sorted(map(repr, other.wires))
+            assert sorted(map(repr, route.vias)) == sorted(map(repr, other.vias))
