@@ -39,6 +39,12 @@ class ArrayBackend(abc.ABC):
     #: registry name ("numpy", "python", "cupy", ...)
     name: str = "abstract"
 
+    #: True when this backend's device arrays *are* host NumPy arrays
+    #: (``asarray``/``to_numpy`` are identities).  Callers that keep
+    #: host-side twins of device tables (e.g. ``CostQuery``) use this to
+    #: skip redundant device-to-host round-trips.
+    device_is_host: bool = False
+
     # ------------------------------------------------------------------ #
     # Construction and host <-> device transfer
     # ------------------------------------------------------------------ #
@@ -131,6 +137,15 @@ class ArrayBackend(abc.ABC):
     @abc.abstractmethod
     def reshape(self, a: Array, shape: Sequence[int]) -> Array:
         """Reshape to ``shape`` (row-major; no data movement)."""
+
+    @abc.abstractmethod
+    def flip(self, a: Array, axis: int) -> Array:
+        """Reverse the order of elements along ``axis``.
+
+        Layout-only (a view where the substrate supports one); together
+        with :meth:`cummin` it yields the reverse segment sweeps of the
+        wavefront maze engine.
+        """
 
     @abc.abstractmethod
     def shape(self, a: Array) -> Tuple[int, ...]:

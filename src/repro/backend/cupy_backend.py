@@ -94,6 +94,9 @@ class CupyBackend(ArrayBackend):
     def reshape(self, a, shape: Sequence[int]):
         return cp.reshape(a, tuple(shape))
 
+    def flip(self, a, axis: int):
+        return cp.flip(a, axis)
+
     def shape(self, a) -> Tuple[int, ...]:
         return tuple(a.shape)
 

@@ -21,6 +21,7 @@ class NumpyBackend(ArrayBackend):
     """Dense vectorised execution on the host CPU via NumPy."""
 
     name = "numpy"
+    device_is_host = True
 
     # ------------------------------------------------------------------ #
     # Construction / transfer
@@ -94,6 +95,9 @@ class NumpyBackend(ArrayBackend):
     def reshape(self, a, shape: Sequence[int]):
         return np.reshape(a, tuple(shape))
 
+    def flip(self, a, axis: int):
+        return np.flip(a, axis)
+
     def shape(self, a) -> Tuple[int, ...]:
         return np.shape(a)
 
@@ -110,7 +114,29 @@ class NumpyBackend(ArrayBackend):
         return np.cumsum(a, axis=axis)
 
     def cummin(self, a, axis: int):
-        return np.minimum.accumulate(a, axis=axis)
+        # ufunc.accumulate walks element by element, which is slowest
+        # exactly on the non-contiguous axes the wavefront sweeps scan.
+        # There, a Hillis-Steele doubling scan (log2(n) shifted
+        # minimums over contiguous slabs) is several times faster and
+        # — min being exactly associative and commutative — returns
+        # the bit-identical result.  The innermost axis stays on
+        # accumulate, where its contiguous inner loop wins.
+        a = np.asarray(a)
+        n = a.shape[axis] if a.ndim else 0
+        if a.ndim < 2 or axis in (a.ndim - 1, -1) or n <= 1:
+            return np.minimum.accumulate(a, axis=axis)
+        out = a.copy(order="C")
+        src = [slice(None)] * a.ndim
+        dst = [slice(None)] * a.ndim
+        shift = 1
+        while shift < n:
+            src[axis] = slice(0, n - shift)
+            dst[axis] = slice(shift, n)
+            np.minimum(
+                out[tuple(dst)], out[tuple(src)], out=out[tuple(dst)]
+            )
+            shift *= 2
+        return out
 
     # ------------------------------------------------------------------ #
     # Gather / scatter

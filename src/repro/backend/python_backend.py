@@ -248,6 +248,18 @@ class PythonBackend(ArrayBackend):
             raise ValueError(f"cannot reshape {a.shape} into {shape}")
         return NDArray(a.data, shape, a.dtype)
 
+    def flip(self, a, axis: int):
+        a = self._coerce(a)
+        outer, n, inner = self._axis_blocks(a, axis)
+        data = a.data
+        out: List[Any] = []
+        for o in range(outer):
+            base = o * n * inner
+            for k in range(n - 1, -1, -1):
+                pos = base + k * inner
+                out.extend(data[pos : pos + inner])
+        return NDArray(out, a.shape, a.dtype)
+
     def shape(self, a) -> Tuple[int, ...]:
         return self._coerce(a).shape
 

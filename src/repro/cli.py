@@ -22,6 +22,7 @@ from typing import Optional
 from repro.backend import available_backends
 from repro.core.config import RouterConfig
 from repro.core.router import GlobalRouter
+from repro.maze import MAZE_ENGINES
 from repro.sched.pipeline import EXECUTION_POLICIES
 from repro.netlist.benchmarks import BENCHMARKS, benchmark_names, load_benchmark
 from repro.netlist.design import Design
@@ -57,6 +58,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         overrides["backend"] = args.backend
     if args.executor is not None:
         overrides["executor"] = args.executor
+    if args.maze_engine is not None:
+        overrides["maze_engine"] = args.maze_engine
     config = _PRESETS[args.config](**overrides)
     result = GlobalRouter(design, config).run()
 
@@ -66,6 +69,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
     print(f"backend       : {config.backend}")
     print(f"executor      : {config.executor} ({config.n_workers} workers)")
     print(f"pattern stage : {result.pattern_time:.3f} s")
+    print(f"maze engine   : {result.maze_engine} "
+          f"({result.maze_nodes_visited} nodes visited)")
     print(f"maze stage    : {result.maze_time:.3f} s (modelled parallel; "
           f"sequential {result.maze_time_sequential:.3f} s)")
     print(f"total         : {result.total_time:.3f} s")
@@ -88,6 +93,11 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
         print()
         print(format_stage_reports(reports))
+    if result.iterations:
+        from repro.eval.report import format_rrr_iterations
+
+        print()
+        print(format_rrr_iterations(result.iterations))
 
     if args.guides:
         from repro.detail.guides import write_guides
@@ -149,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
         "'threaded' drains the task graph on a worker pool, 'ordered' "
         "runs the deterministic topological order; results are "
         "bit-identical (default: the preset's choice)",
+    )
+    route.add_argument(
+        "--maze-engine", choices=MAZE_ENGINES, default=None,
+        help="per-net search engine of the rip-up stage: 'dijkstra' is "
+        "the scalar heap search, 'wavefront' computes the same "
+        "shortest-path distances as batched sweeps on the array "
+        "backend (default: the preset's choice)",
     )
     route.add_argument("--guides", default=None, metavar="FILE",
                        help="write routing guides for detailed routing")

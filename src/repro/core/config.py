@@ -56,6 +56,11 @@ class RouterConfig:
     # has intra-batch parallelism to expose instead of a chain.
     max_batch_tasks: int = 64
     edge_shift: bool = True
+    # Per-net search engine of the rip-up stage: "dijkstra" is the
+    # scalar heap search, "wavefront" computes the same shortest-path
+    # distances as batched prefix-sum/cummin sweeps on the configured
+    # array backend (faster on large congested regions).
+    maze_engine: str = "dijkstra"
     maze_margin: int = 6
     n_workers: int = 8
     max_chunk_elements: int = 150_000
@@ -68,6 +73,13 @@ class RouterConfig:
             raise ValueError(f"unknown pattern shape {self.pattern_shape!r}")
         if self.rrr_parallel not in ("taskgraph", "batch"):
             raise ValueError(f"unknown RRR strategy {self.rrr_parallel!r}")
+        from repro.maze import MAZE_ENGINES
+
+        if self.maze_engine not in MAZE_ENGINES:
+            raise ValueError(
+                f"unknown maze engine {self.maze_engine!r}; available: "
+                f"{', '.join(MAZE_ENGINES)}"
+            )
         from repro.sched.pipeline import EXECUTION_POLICIES
 
         if self.executor not in EXECUTION_POLICIES:

@@ -191,17 +191,26 @@ def run_rrr_stage(
     design: Design,
     config: RouterConfig,
     routes: Dict[str, Route],
+    device: Optional[Device] = None,
 ) -> Tuple[int, List[IterationStats]]:
     """Run the rip-up-and-reroute iterations in place.
 
     Returns the number of violating nets found after the pattern stage
     (0 when the pattern stage already closed routing — no iteration
     entry is fabricated in that case) and the per-iteration statistics.
+    With a ``device``, the wavefront engine's sweep launches are
+    metered into it alongside the pattern kernels.
     """
     graph = design.graph
     nets_by_name = {net.name: net for net in design.netlist}
     engine = RipupReroute(
-        graph, nets_by_name, config.cost_model, margin=config.maze_margin
+        graph,
+        nets_by_name,
+        config.cost_model,
+        margin=config.maze_margin,
+        engine=config.maze_engine,
+        backend=config.backend,
+        device=device,
     )
     runner = _make_runner(config)
     rrr_scheme = config.rrr_sorting_scheme or config.sorting_scheme
@@ -231,6 +240,7 @@ def run_rrr_stage(
             cached_key = key
 
         stage = RerouteStage(engine, routes, ordered_nets, config.maze_margin)
+        visited_before = engine.nodes_visited
         report = runner.run(stage, schedule=schedule)
         iterations.append(
             IterationStats(
@@ -241,6 +251,8 @@ def run_rrr_stage(
                 taskgraph_makespan=report.taskgraph_makespan,
                 batch_makespan=report.batch_makespan,
                 makespan=report.makespan(config.rrr_parallel),
+                engine=engine.engine_name,
+                nodes_visited=engine.nodes_visited - visited_before,
                 report=report,
             )
         )

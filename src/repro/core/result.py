@@ -34,6 +34,11 @@ class IterationStats:
     # Makespan under the strategy the router was configured with
     # ("taskgraph" for FastGR, "batch" for the CUGR baseline).
     makespan: float = 0.0
+    # Which search engine rerouted this iteration's nets.
+    engine: str = "dijkstra"
+    # Nodes settled (dijkstra) / cells relaxed (wavefront) this
+    # iteration, summed over all reroute tasks.
+    nodes_visited: int = 0
     # Full pipeline execution record (policy, timeline, schedule).
     report: Optional[StageReport] = None
 
@@ -55,6 +60,8 @@ class RoutingResult:
     metrics: RoutingMetrics
     stage_times: Dict[str, float]
     nets_to_ripup: int
+    # Search engine of the rip-up stage ("dijkstra" | "wavefront").
+    maze_engine: str = "dijkstra"
     iterations: List[IterationStats] = field(default_factory=list)
     device_stats: Dict[str, float] = field(default_factory=dict)
     transfer_stats: Dict[str, float] = field(default_factory=dict)
@@ -86,6 +93,11 @@ class RoutingResult:
         return sum(it.makespan for it in self.iterations)
 
     @property
+    def maze_nodes_visited(self) -> int:
+        """Total maze search work (nodes settled / cells relaxed)."""
+        return sum(it.nodes_visited for it in self.iterations)
+
+    @property
     def maze_time_taskgraph(self) -> float:
         """Modelled parallel MAZE seconds under the task-graph scheduler."""
         return sum(it.taskgraph_makespan for it in self.iterations)
@@ -114,6 +126,7 @@ class RoutingResult:
             "maze_time_batch_parallel": self.maze_time_batch_parallel,
             "total_time": self.total_time,
             "nets_to_ripup": float(self.nets_to_ripup),
+            "maze_nodes_visited": float(self.maze_nodes_visited),
         }
         if self.pattern_report is not None:
             data["pattern_tasks"] = float(self.pattern_report.n_tasks)

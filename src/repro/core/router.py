@@ -55,7 +55,7 @@ class GlobalRouter:
             )
         with timer.stage("maze"):
             nets_to_ripup, iterations = run_rrr_stage(
-                self.design, self.config, routes
+                self.design, self.config, routes, device=self.device
             )
 
         metrics = RoutingMetrics.measure(routes, self.design.graph)
@@ -66,6 +66,7 @@ class GlobalRouter:
             metrics=metrics,
             stage_times=timer.totals(),
             nets_to_ripup=nets_to_ripup,
+            maze_engine=self.config.maze_engine,
             iterations=iterations,
             pattern_report=pattern_report,
             device_stats={

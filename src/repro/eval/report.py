@@ -77,4 +77,34 @@ def format_stage_reports(reports) -> str:
     )
 
 
-__all__ = ["format_table", "format_stage_reports"]
+def format_rrr_iterations(iterations) -> str:
+    """Render the per-iteration RRR statistics (engine, search work,
+    maze time) from :class:`~repro.core.result.IterationStats` records."""
+    rows = [
+        [
+            it.iteration,
+            it.engine,
+            it.n_ripped,
+            it.n_failed,
+            it.nodes_visited,
+            it.sequential_time,
+            it.makespan,
+        ]
+        for it in iterations
+    ]
+    return format_table(
+        [
+            "iteration",
+            "engine",
+            "ripped",
+            "failed",
+            "visited",
+            "maze-seq(s)",
+            "makespan(s)",
+        ],
+        rows,
+        title="Rip-up-and-reroute iterations",
+    )
+
+
+__all__ = ["format_table", "format_stage_reports", "format_rrr_iterations"]

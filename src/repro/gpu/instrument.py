@@ -22,8 +22,9 @@ Counting rules (per op, in scalar element steps):
   element is touched once;
 * construction, shape and transfer ops (``asarray``, ``to_numpy``,
   ``full``, ``zeros``, ``arange``, ``expand_dims``, ``reshape``,
-  ``shape``) count zero — they are layout/transfer, not compute, and
-  transfers are accounted separately by the :class:`ZeroCopyArena`.
+  ``flip``, ``shape``) count zero — they are layout/transfer, not
+  compute, and transfers are accounted separately by the
+  :class:`ZeroCopyArena`.
 
 Work performed outside any ``kernel`` scope (for example the cost
 model's prefix-sum rebuild) accumulates in ``unattributed_elements``
@@ -49,6 +50,7 @@ class InstrumentedBackend(ArrayBackend):
         self.inner = inner
         self.device = device
         self.name = f"{inner.name}+instrumented"
+        self.device_is_host = inner.device_is_host
         self._counter = 0
         self._flushed = 0
 
@@ -98,6 +100,9 @@ class InstrumentedBackend(ArrayBackend):
 
     def reshape(self, a, shape: Sequence[int]):
         return self.inner.reshape(a, shape)
+
+    def flip(self, a, axis: int):
+        return self.inner.flip(a, axis)
 
     def shape(self, a) -> Tuple[int, ...]:
         return self.inner.shape(a)

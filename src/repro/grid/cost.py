@@ -184,9 +184,16 @@ class CostQuery:
         self._h_prefix_dev = xp.cumsum(xp.asarray(h_edge), axis=1)
         self._v_prefix_dev = xp.cumsum(xp.asarray(v_edge), axis=2)
         self._via_prefix_dev = xp.cumsum(xp.asarray(via_edge), axis=0)
-        self._h_prefix = xp.to_numpy(self._h_prefix_dev)
-        self._v_prefix = xp.to_numpy(self._v_prefix_dev)
-        self._via_prefix = xp.to_numpy(self._via_prefix_dev)
+        if xp.device_is_host:
+            # The device arrays *are* host NumPy arrays — reuse them as
+            # the host twins instead of round-tripping through to_numpy.
+            self._h_prefix = self._h_prefix_dev
+            self._v_prefix = self._v_prefix_dev
+            self._via_prefix = self._via_prefix_dev
+        else:
+            self._h_prefix = xp.to_numpy(self._h_prefix_dev)
+            self._v_prefix = xp.to_numpy(self._v_prefix_dev)
+            self._via_prefix = xp.to_numpy(self._via_prefix_dev)
 
     # ------------------------------------------------------------------ #
     # Scalar queries (host side)

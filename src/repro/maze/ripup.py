@@ -96,7 +96,13 @@ class RipupStats:
 
 
 class RipupReroute:
-    """Executes rip-up-and-reroute iterations over a routed design."""
+    """Executes rip-up-and-reroute iterations over a routed design.
+
+    ``engine`` selects the per-net search engine (any name in
+    :data:`repro.maze.MAZE_ENGINES`); the wavefront engine runs its
+    sweeps on ``backend`` and meters launches into ``device`` when one
+    is attached.
+    """
 
     def __init__(
         self,
@@ -104,12 +110,23 @@ class RipupReroute:
         netlist_by_name: Dict[str, Net],
         cost_model: Optional[CostModel] = None,
         margin: int = 6,
+        engine: str = "dijkstra",
+        backend: str = "numpy",
+        device=None,
     ) -> None:
         self.graph = graph
         self.nets = netlist_by_name
         self.cost_model = cost_model or CostModel()
         self.margin = margin
+        self.engine_name = engine
+        self._backend = backend
+        self._device = device
         self._local = threading.local()
+        self._visited_lock = threading.Lock()
+        #: Total nodes settled/relaxed by maze searches so far (all
+        #: worker threads; monotone — snapshot before/after an
+        #: iteration to attribute counts per iteration).
+        self.nodes_visited = 0
 
     @property
     def maze(self) -> MazeRouter:
@@ -124,7 +141,16 @@ class RipupReroute:
         """
         maze = getattr(self._local, "maze", None)
         if maze is None:
-            maze = MazeRouter(self.graph, self.cost_model, margin=self.margin)
+            from repro.maze import make_maze_router
+
+            maze = make_maze_router(
+                self.engine_name,
+                self.graph,
+                self.cost_model,
+                margin=self.margin,
+                backend=self._backend,
+                device=self._device,
+            )
             self._local.maze = maze
         return maze
 
@@ -141,11 +167,16 @@ class RipupReroute:
         net = self.nets[name]
         old_route = routes[name]
         old_route.uncommit(self.graph)
+        maze = self.maze
         try:
-            new_route = self.maze.route_net(net)
+            new_route = maze.route_net(net)
         except MazeRoutingError:
             old_route.commit(self.graph)
             return None
+        finally:
+            visited = maze.consume_visited()
+            with self._visited_lock:
+                self.nodes_visited += visited
         new_route.commit(self.graph)
         return new_route
 

@@ -9,6 +9,11 @@ practice; keeps the search region proportional to the net).
 A multi-pin net is routed by growing a connected component: start from
 one pin, run Dijkstra from every node of the component to the nearest
 unconnected pin, splice the found path in, repeat.
+
+This module also defines the engine seams the wavefront engine
+(:mod:`repro.maze.wavefront`) plugs into: :meth:`MazeRouter.route_net`
+drives the multi-pin loop through ``_build_tables`` (per-net region
+cost tables) and ``_search`` (one splice search), both overridable.
 """
 
 from __future__ import annotations
@@ -35,6 +40,8 @@ class MazeRoutingError(RuntimeError):
 class MazeRouter:
     """Dijkstra-based 3-D router over a cost snapshot."""
 
+    engine_name = "dijkstra"
+
     def __init__(
         self,
         graph: GridGraph,
@@ -46,6 +53,16 @@ class MazeRouter:
         self.cost_model = cost_model or CostModel()
         self.query = query or CostQuery(graph, self.cost_model)
         self.margin = margin
+        # Search scratch (dist/parent/done), grown to the largest region
+        # seen and reused across splice searches *and* route_net calls:
+        # per-search cleanup touches only the entries a search dirtied,
+        # so reuse costs O(visited) instead of O(region) per search.
+        self._scratch_size = 0
+        self._dist: List[float] = []
+        self._parent: List[int] = []
+        self._done = bytearray()
+        # Nodes settled/relaxed since the last consume_visited() call.
+        self._visited_nodes = 0
 
     def route_net(self, net: Net, rebuild: bool = True) -> Route:
         """Route ``net`` from scratch against current demand.
@@ -61,18 +78,41 @@ class MazeRouter:
         if len(pins) == 1:
             return Route()
         region = self._region(net)
-        # Costs are frozen per net: build the region move tables once and
-        # share them across the per-pin searches.
-        tables = self._move_tables(region)
+        # Costs are frozen per net: build the region cost tables once
+        # and share them across the per-pin splice searches.
+        tables = self._build_tables(region)
         component = {pins[0]}
         remaining = set(pins[1:])
         route = Route()
         while remaining:
-            path, reached = self._dijkstra(component, remaining, region, tables)
+            path, reached = self._search(component, remaining, region, tables)
             self._splice(route, path)
             component.update(path)
             remaining.discard(reached)
         return normalize_route(route)
+
+    def consume_visited(self) -> int:
+        """Return and reset the visited-node tally of this router."""
+        visited = self._visited_nodes
+        self._visited_nodes = 0
+        return visited
+
+    # ------------------------------------------------------------------ #
+    # Engine seams (the wavefront engine overrides these)
+    # ------------------------------------------------------------------ #
+    def _build_tables(self, region: Tuple[int, int, int, int]):
+        """Build the per-net region cost tables the searches share."""
+        return self._move_tables(region)
+
+    def _search(
+        self,
+        sources: set,
+        targets: set,
+        region: Tuple[int, int, int, int],
+        tables,
+    ) -> Tuple[List[GridNode], GridNode]:
+        """One splice search: shortest source-set -> target-set path."""
+        return self._dijkstra(sources, targets, region, tables)
 
     # ------------------------------------------------------------------ #
     # Search internals
@@ -130,6 +170,17 @@ class MazeRouter:
         ]
         return moves, width, height
 
+    def _acquire_scratch(
+        self, size: int
+    ) -> Tuple[List[float], List[int], bytearray]:
+        """Return the shared dist/parent/done buffers, grown to ``size``."""
+        if self._scratch_size < size:
+            self._dist = [float("inf")] * size
+            self._parent = [-1] * size
+            self._done = bytearray(size)
+            self._scratch_size = size
+        return self._dist, self._parent, self._done
+
     def _dijkstra(
         self,
         sources: set,
@@ -155,52 +206,64 @@ class MazeRouter:
             return (x + x0, y + y0, layer)
 
         inf = float("inf")
-        dist: List[float] = [inf] * size
-        parent: List[int] = [-1] * size
-        done = bytearray(size)
-        heap: List[Tuple[float, int]] = []
-        for node in sources:
-            x, y, layer = node
-            if not (x0 <= x <= x1 and y0 <= y <= y1):
-                continue
-            idx = encode(node)
-            dist[idx] = 0.0
-            heap.append((0.0, idx))
-        heapq.heapify(heap)
+        seeds = [
+            encode(s) for s in sources if x0 <= s[0] <= x1 and y0 <= s[1] <= y1
+        ]
         target_idx = {encode(t) for t in targets if x0 <= t[0] <= x1 and y0 <= t[1] <= y1}
-        if not target_idx or not heap:
+        # Validate before dirtying the shared scratch: raising after
+        # seeding would leave stale zeros for the next search.
+        if not target_idx or not seeds:
             raise MazeRoutingError("pins outside search region")
+        dist, parent, done = self._acquire_scratch(size)
+        touched: List[int] = list(seeds)
+        heap: List[Tuple[float, int]] = [(0.0, idx) for idx in seeds]
+        for idx in seeds:
+            dist[idx] = 0.0
+        heapq.heapify(heap)
 
         heappush = heapq.heappush
         heappop = heapq.heappop
         reached = -1
-        while heap:
-            d, idx = heappop(heap)
-            if done[idx]:
-                continue
-            done[idx] = 1
-            if idx in target_idx:
-                reached = idx
-                break
-            for offset, costs in moves:
-                cost = costs[idx]
-                if cost != inf:
-                    nxt = idx + offset
-                    nd = d + cost
-                    if nd < dist[nxt]:
-                        dist[nxt] = nd
-                        parent[nxt] = idx
-                        heappush(heap, (nd, nxt))
-        if reached < 0:
-            raise MazeRoutingError("maze search exhausted without reaching a pin")
+        n_settled = 0
+        try:
+            while heap:
+                d, idx = heappop(heap)
+                if done[idx]:
+                    continue
+                done[idx] = 1
+                n_settled += 1
+                if idx in target_idx:
+                    reached = idx
+                    break
+                for offset, costs in moves:
+                    cost = costs[idx]
+                    if cost != inf:
+                        nxt = idx + offset
+                        nd = d + cost
+                        if nd < dist[nxt]:
+                            if dist[nxt] == inf:
+                                touched.append(nxt)
+                            dist[nxt] = nd
+                            parent[nxt] = idx
+                            heappush(heap, (nd, nxt))
+            if reached < 0:
+                raise MazeRoutingError("maze search exhausted without reaching a pin")
 
-        path: List[GridNode] = []
-        idx = reached
-        while idx >= 0:
-            path.append(decode(idx))
-            idx = parent[idx]
-        path.reverse()
-        return path, decode(reached)
+            path: List[GridNode] = []
+            idx = reached
+            while idx >= 0:
+                path.append(decode(idx))
+                idx = parent[idx]
+            path.reverse()
+            return path, decode(reached)
+        finally:
+            self._visited_nodes += n_settled
+            # Undo only what this search dirtied, so the next search
+            # starts from clean buffers without an O(size) refill.
+            for idx in touched:
+                dist[idx] = inf
+                parent[idx] = -1
+                done[idx] = 0
 
     @staticmethod
     def _splice(route: Route, path: Sequence[GridNode]) -> None:

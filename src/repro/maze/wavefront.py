@@ -1,0 +1,329 @@
+"""Batched wavefront maze routing: sweep relaxation on the array backend.
+
+The scalar Dijkstra of :mod:`repro.maze.router` settles one node per
+heap pop — inherently sequential, and the rip-up stage's bottleneck
+once pattern routing runs as batched min-plus kernels.  This engine
+computes the *same* shortest-path distances as dense array operations
+on the pluggable :class:`~repro.backend.ArrayBackend`, the exact
+reformulation the paper applies to pattern routing (and GAP-LA applies
+to layer assignment): replace per-node control flow with whole-region
+data-parallel sweeps.
+
+How one relaxation pass works
+-----------------------------
+Let ``P`` be the prefix sum of edge costs along a row of a horizontal
+layer (``P[i]`` = cost of the straight run from column 0 to ``i``).
+The cost of the straight run ``j -> i`` (``j <= i``) is ``P[i] - P[j]``,
+so relaxing *every* rightward wire run of a row at once is
+
+    dist'[i] = min_{j <= i} (dist[j] + P[i] - P[j])
+             = P[i] + cummin(dist - P)[i]
+
+— one subtract, one ``cummin`` scan, one add, for all rows of all
+layers simultaneously.  Leftward runs are the same sweep on the flipped
+axis; columns of vertical layers sweep along ``y``; via stacks sweep
+along the layer axis with the via-cost prefix.  One *pass* applies all
+six sweeps; passes repeat until the distance field stops changing.
+
+Why the fixpoint is exact
+-------------------------
+Each sweep only ever lowers ``dist`` to the cost of a real path (a
+straight run appended to an already-found path), and any shortest path
+is a sequence of at most a few dozen straight runs — pass ``k`` has
+relaxed every path of ``<= 3k`` runs.  Since edge costs are positive,
+the sweeps converge to the unique fixpoint of the Bellman equations,
+i.e. the exact Dijkstra distance field (associating the additions
+per *run* rather than per edge, so floats may differ from scalar
+Dijkstra in the last ULPs — routes are equal-cost, not bit-equal).
+
+Paths are reconstructed by greedy descent over the distance field:
+from the target, repeatedly step to the neighbour minimising
+``dist[n] + edge(n -> current)`` until a source is reached.  Every
+step descends by at least one unit edge cost, so the walk terminates
+without parent pointers — the field *is* the routing table.
+
+Execution is wrapped in :meth:`Device.kernel` scopes when a device is
+attached, so wavefront launches and element counts appear in the run's
+device statistics next to the pattern kernels.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.backend import ArrayBackend, get_backend
+from repro.grid.cost import CostModel, CostQuery
+from repro.grid.graph import GridGraph
+from repro.maze.router import GridNode, MazeRouter, MazeRoutingError
+
+
+class SweepTables:
+    """Per-net region tables shared by the splice searches of one net."""
+
+    __slots__ = (
+        "width", "height", "n_layers",
+        "h_prefix", "v_prefix", "z_prefix",  # device (L, W, H) prefixes
+        "h_mask", "v_mask",                  # device (L, 1, 1) bool masks
+        "h_prefix_np", "v_prefix_np", "z_prefix_np",  # host twins
+        "h_layers", "v_layers",              # host bool per layer
+    )
+
+
+class WavefrontMazeRouter(MazeRouter):
+    """Sweep-relaxation 3-D router over a cost snapshot.
+
+    Drop-in replacement for :class:`MazeRouter`: same multi-pin loop,
+    same search regions, same cost snapshot — only the per-splice
+    search runs as dense backend sweeps instead of a scalar heap.
+    """
+
+    engine_name = "wavefront"
+
+    def __init__(
+        self,
+        graph: GridGraph,
+        cost_model: Optional[CostModel] = None,
+        margin: int = 6,
+        query: Optional[CostQuery] = None,
+        backend: "ArrayBackend | str" = "numpy",
+        device=None,
+    ) -> None:
+        super().__init__(graph, cost_model, margin=margin, query=query)
+        xp = get_backend(backend) if isinstance(backend, str) else backend
+        if device is not None:
+            xp = device.wrap(xp)
+        self.xp = xp
+        # Fixpoint pass counter of the last search (observability).
+        self.last_n_passes = 0
+
+    # ------------------------------------------------------------------ #
+    # Engine seams
+    # ------------------------------------------------------------------ #
+    def _build_tables(self, region: Tuple[int, int, int, int]) -> SweepTables:
+        """Upload the region's edge-cost prefixes to the backend.
+
+        Row/column 0 of each prefix is the zero pad (exclusive prefix),
+        exactly like :class:`~repro.grid.cost.CostQuery`; layers of the
+        wrong direction keep all-zero prefixes and are masked out when
+        the sweep result is applied.
+        """
+        x0, y0, x1, y1 = region
+        width = x1 - x0 + 1
+        height = y1 - y0 + 1
+        n_layers = self.graph.n_layers
+        stack = self.graph.stack
+
+        h_edge = np.zeros((n_layers, width, height))
+        v_edge = np.zeros((n_layers, width, height))
+        h_layers = np.zeros(n_layers, dtype=bool)
+        for layer in range(n_layers):
+            cost = self.query.wire_cost[layer]
+            if stack.is_horizontal(layer):
+                h_layers[layer] = True
+                h_edge[layer, 1:, :] = cost[x0:x1, y0 : y1 + 1]
+            else:
+                v_edge[layer, :, 1:] = cost[x0 : x1 + 1, y0:y1]
+        z_edge = np.zeros((n_layers, width, height))
+        z_edge[1:] = self.query.via_cost[:, x0 : x1 + 1, y0 : y1 + 1]
+
+        xp = self.xp
+        tables = SweepTables()
+        tables.width = width
+        tables.height = height
+        tables.n_layers = n_layers
+        tables.h_layers = h_layers
+        tables.v_layers = ~h_layers
+        with self._kernel("wavefront_setup", width * height, n_layers):
+            tables.h_prefix = xp.cumsum(xp.asarray(h_edge), axis=1)
+            tables.v_prefix = xp.cumsum(xp.asarray(v_edge), axis=2)
+            tables.z_prefix = xp.cumsum(xp.asarray(z_edge), axis=0)
+        tables.h_mask = xp.asarray(h_layers[:, None, None], dtype="bool")
+        tables.v_mask = xp.asarray(tables.v_layers[:, None, None], dtype="bool")
+        tables.h_prefix_np = xp.to_numpy(tables.h_prefix)
+        tables.v_prefix_np = xp.to_numpy(tables.v_prefix)
+        tables.z_prefix_np = xp.to_numpy(tables.z_prefix)
+        return tables
+
+    def _search(
+        self,
+        sources: set,
+        targets: set,
+        region: Tuple[int, int, int, int],
+        tables: SweepTables,
+    ) -> Tuple[List[GridNode], GridNode]:
+        x0, y0, x1, y1 = region
+        in_region = [
+            t for t in targets if x0 <= t[0] <= x1 and y0 <= t[1] <= y1
+        ]
+        seeds = [
+            s for s in sources if x0 <= s[0] <= x1 and y0 <= s[1] <= y1
+        ]
+        if not in_region or not seeds:
+            raise MazeRoutingError("pins outside search region")
+
+        field = self._distance_field(seeds, region, tables)
+
+        # Nearest unconnected pin, ties broken like the Dijkstra heap:
+        # smallest (distance, encoded index) settles first.
+        def encode(node: GridNode) -> int:
+            x, y, layer = node
+            return (layer * tables.width + (x - x0)) * tables.height + (y - y0)
+
+        reached = min(
+            in_region,
+            key=lambda t: (field[t[2], t[0] - x0, t[1] - y0], encode(t)),
+        )
+        if not np.isfinite(field[reached[2], reached[0] - x0, reached[1] - y0]):
+            raise MazeRoutingError("maze search exhausted without reaching a pin")
+        path = self._descend(field, reached, set(seeds), region, tables)
+        return path, reached
+
+    # ------------------------------------------------------------------ #
+    # Distance field: fixpoint of the segment sweeps
+    # ------------------------------------------------------------------ #
+    def _distance_field(
+        self,
+        seeds: List[GridNode],
+        region: Tuple[int, int, int, int],
+        tables: SweepTables,
+    ) -> np.ndarray:
+        """Return the exact multi-source distance field as host NumPy."""
+        x0, y0, _, _ = region
+        xp = self.xp
+        init = np.full((tables.n_layers, tables.width, tables.height), np.inf)
+        for x, y, layer in seeds:
+            init[layer, x - x0, y - y0] = 0.0
+        dist = xp.asarray(init)
+        size = init.size
+
+        # A shortest path is a sequence of straight runs; each pass
+        # relaxes three more (one per axis), so the staircase worst case
+        # still converges within the region perimeter.  The cap is a
+        # safety net, not a tuning knob.
+        max_passes = 2 * (tables.width + tables.height + tables.n_layers) + 8
+        host = init
+        for n_passes in range(1, max_passes + 1):
+            prev = host
+            with self._kernel(
+                "wavefront_relax", tables.width * tables.height, tables.n_layers
+            ):
+                dist = self._apply_sweep(dist, tables.h_prefix, 1, tables.h_mask)
+                dist = self._apply_sweep(dist, tables.v_prefix, 2, tables.v_mask)
+                dist = self._apply_sweep(dist, tables.z_prefix, 0, None)
+            host = xp.to_numpy(dist)
+            self._visited_nodes += size
+            # Fixpoint up to float noise: re-associating P[i] + (d - P)
+            # can drop a converged entry by an ULP every pass, so exact
+            # bit-stability may never arrive.  Improvements bounded by
+            # 1e-12 relative are that drift (edge costs are >= 1);
+            # anything larger is a real relaxation still in flight.
+            # The tolerance comes from the *new* values — still-inf
+            # entries would make an inf tolerance swallow first reaches.
+            with np.errstate(invalid="ignore"):
+                tol = 1e-12 * np.maximum(1.0, np.abs(host))
+                stable = (host == prev) | (prev - host <= tol)
+            if np.all(stable):
+                self.last_n_passes = n_passes
+                return host
+        raise MazeRoutingError(
+            "wavefront relaxation did not converge within "
+            f"{max_passes} passes"
+        )
+
+    def _apply_sweep(self, dist, prefix, axis: int, mask):
+        """Relax every straight run along ``axis``, both directions.
+
+        ``prefix`` holds the inclusive edge-cost prefix along ``axis``
+        (zero-padded at index 0); ``mask`` selects the layers whose
+        preferred direction allows the move (None = all layers).
+        """
+        xp = self.xp
+        # Forward runs j -> i (j <= i): P[i] + cummin(dist - P)[i].
+        fwd = xp.add(prefix, xp.cummin(xp.subtract(dist, prefix), axis))
+        # Backward runs j -> i (j >= i): revcummin(dist + P)[i] - P[i].
+        rev = xp.flip(
+            xp.cummin(xp.flip(xp.add(dist, prefix), axis), axis), axis
+        )
+        bwd = xp.subtract(rev, prefix)
+        relaxed = xp.minimum(dist, xp.minimum(fwd, bwd))
+        if mask is None:
+            return relaxed
+        return xp.where(mask, relaxed, dist)
+
+    # ------------------------------------------------------------------ #
+    # Path reconstruction: greedy descent over the field
+    # ------------------------------------------------------------------ #
+    def _descend(
+        self,
+        field: np.ndarray,
+        target: GridNode,
+        sources: Set[GridNode],
+        region: Tuple[int, int, int, int],
+        tables: SweepTables,
+    ) -> List[GridNode]:
+        """Walk the field from ``target`` down to any source node.
+
+        Edge costs are read as prefix differences — the same floats the
+        sweeps used — so the predecessor minimising ``dist + edge`` is
+        always strictly downhill (unit edge costs dwarf ULP noise).
+        """
+        x0, y0, x1, y1 = region
+        hp, vp, zp = tables.h_prefix_np, tables.v_prefix_np, tables.z_prefix_np
+        h_layers = tables.h_layers
+        path: List[GridNode] = [target]
+        cur = target
+        for _ in range(field.size):
+            if cur in sources:
+                path.reverse()
+                return path
+            x, y, layer = cur
+            i, j = x - x0, y - y0
+            here = field[layer, i, j]
+            best = None
+            if h_layers[layer]:
+                if x > x0:
+                    cost = hp[layer, i, j] - hp[layer, i - 1, j]
+                    cand = (field[layer, i - 1, j] + cost, (x - 1, y, layer))
+                    best = cand if best is None or cand[0] < best[0] else best
+                if x < x1:
+                    cost = hp[layer, i + 1, j] - hp[layer, i, j]
+                    cand = (field[layer, i + 1, j] + cost, (x + 1, y, layer))
+                    best = cand if best is None or cand[0] < best[0] else best
+            else:
+                if y > y0:
+                    cost = vp[layer, i, j] - vp[layer, i, j - 1]
+                    cand = (field[layer, i, j - 1] + cost, (x, y - 1, layer))
+                    best = cand if best is None or cand[0] < best[0] else best
+                if y < y1:
+                    cost = vp[layer, i, j + 1] - vp[layer, i, j]
+                    cand = (field[layer, i, j + 1] + cost, (x, y + 1, layer))
+                    best = cand if best is None or cand[0] < best[0] else best
+            if layer > 0:
+                cost = zp[layer, i, j] - zp[layer - 1, i, j]
+                cand = (field[layer - 1, i, j] + cost, (x, y, layer - 1))
+                best = cand if best is None or cand[0] < best[0] else best
+            if layer < tables.n_layers - 1:
+                cost = zp[layer + 1, i, j] - zp[layer, i, j]
+                cand = (field[layer + 1, i, j] + cost, (x, y, layer + 1))
+                best = cand if best is None or cand[0] < best[0] else best
+            if best is None or field[best[1][2], best[1][0] - x0, best[1][1] - y0] >= here:
+                raise MazeRoutingError("wavefront descent stalled")
+            cur = best[1]
+            path.append(cur)
+        raise MazeRoutingError("wavefront descent did not reach a source")
+
+    # ------------------------------------------------------------------ #
+    # Device metering
+    # ------------------------------------------------------------------ #
+    def _kernel(self, name: str, n_blocks: int, threads_per_block: int):
+        """Kernel scope on instrumented backends, no-op otherwise."""
+        kernel = getattr(self.xp, "kernel", None)
+        if kernel is None:
+            return nullcontext()
+        return kernel(name, max(n_blocks, 1), max(threads_per_block, 1))
+
+
+__all__ = ["SweepTables", "WavefrontMazeRouter"]

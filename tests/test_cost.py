@@ -171,3 +171,23 @@ def test_prefix_sums_match_bruteforce_random_demand(x1, y, x2, layer, demand_see
     lo, hi = sorted((x1, x2))
     expected = float(np.sum(edges[lo:hi, y]))
     assert query.wire_segment_cost(layer, x1, y, x2, y) == pytest.approx(expected)
+
+
+class TestHostDeviceAliasing:
+    def test_numpy_backend_skips_roundtrip(self, grid):
+        """device_is_host backends alias device prefixes as host twins."""
+        from repro.backend import get_backend
+
+        query = CostQuery(grid, CostModel(), backend=get_backend("numpy"))
+        assert query.backend.device_is_host
+        assert query._h_prefix is query._h_prefix_dev
+        assert query._v_prefix is query._v_prefix_dev
+        assert query._via_prefix is query._via_prefix_dev
+
+    def test_python_backend_still_converts(self, grid):
+        from repro.backend import get_backend
+
+        query = CostQuery(grid, CostModel(), backend=get_backend("python"))
+        assert not query.backend.device_is_host
+        assert isinstance(query._h_prefix, np.ndarray)
+        assert query._h_prefix is not query._h_prefix_dev

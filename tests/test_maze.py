@@ -170,3 +170,43 @@ class TestRegionAndErrors:
             grid.add_wire_demand(1, 0, 5, 13, 5)
         router.route_net(Net("n", [Pin(1, 1, 0), Pin(3, 3, 0)]), rebuild=False)
         assert np.array_equal(router.query.wire_cost[1], before)
+
+
+class TestScratchReuse:
+    def test_repeated_route_net_identical(self):
+        """Reused dist/parent/done scratch never leaks across searches."""
+        rng = np.random.default_rng(9)
+        grid = fresh_grid()
+        for layer in range(grid.n_layers):
+            grid.wire_demand[layer][:] = rng.integers(
+                0, 5, grid.wire_demand[layer].shape
+            )
+        shared = MazeRouter(grid)
+        nets = [
+            Net("a", [Pin(1, 1, 0), Pin(12, 11, 2)]),
+            Net("b", [Pin(0, 9, 1), Pin(9, 0, 3), Pin(5, 5, 0)]),
+            Net("c", [Pin(2, 2, 0), Pin(3, 3, 4)]),
+        ]
+        for net in nets:
+            expected = MazeRouter(grid).route_net(net)  # fresh scratch
+            got = shared.route_net(net)
+            assert got.wires == expected.wires
+            assert got.vias == expected.vias
+
+    def test_scratch_grows_to_largest_region(self):
+        grid = fresh_grid()
+        router = MazeRouter(grid)
+        router.route_net(Net("s", [Pin(1, 1, 0), Pin(2, 2, 0)]))
+        small = router._scratch_size
+        router.route_net(Net("l", [Pin(0, 0, 0), Pin(13, 13, 4)]))
+        assert router._scratch_size > small
+        assert len(router._dist) == router._scratch_size
+
+    def test_scratch_clean_after_failed_search(self):
+        grid = fresh_grid()
+        router = MazeRouter(grid)
+        with pytest.raises(MazeRoutingError):
+            router._dijkstra({(0, 0, 0)}, {(50, 50, 0)}, (0, 0, 5, 5))
+        assert all(d == float("inf") for d in router._dist)
+        assert all(p == -1 for p in router._parent)
+        assert not any(router._done)

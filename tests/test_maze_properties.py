@@ -86,3 +86,45 @@ def test_maze_never_beaten_by_pattern(src, dst, demand_seed):
     job = pattern.make_job(net)
     pattern.route_jobs([job], constant_mode(PatternMode.LSHAPE))
     assert maze_cost <= job.total_cost + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    src=st.tuples(
+        st.integers(0, 6), st.integers(0, 6), st.integers(0, 2)
+    ),
+    dst=st.tuples(
+        st.integers(0, 6), st.integers(0, 6), st.integers(0, 2)
+    ),
+    demand_seed=st.integers(0, 100),
+)
+def test_wavefront_matches_dijkstra_two_pin(src, dst, demand_seed):
+    """Property: both engines find equal-cost routes for any two-pin
+    net under random congestion (the wavefront fixpoint is exact)."""
+    import pytest
+
+    from repro.maze.wavefront import WavefrontMazeRouter
+
+    graph = GridGraph(7, 7, LayerStack(3), wire_capacity=3.0)
+    rng = np.random.default_rng(demand_seed)
+    for layer in range(graph.n_layers):
+        shape = graph.wire_demand[layer].shape
+        graph.wire_demand[layer][:] = rng.integers(0, 6, shape)
+    graph.via_demand[:] = rng.integers(0, 4, graph.via_demand.shape)
+    net = Net("prop", [Pin(*src), Pin(*dst)])
+
+    def cost(route, query):
+        total = 0.0
+        for w in route.wires:
+            total += query.wire_segment_cost(w.layer, w.x1, w.y1, w.x2, w.y2)
+        for v in route.vias:
+            total += query.via_stack_cost(v.x, v.y, v.lo, v.hi)
+        return total
+
+    scalar = MazeRouter(graph, margin=7)
+    wave = WavefrontMazeRouter(graph, margin=7)
+    r1 = scalar.route_net(net)
+    r2 = wave.route_net(net)
+    assert cost(r2, wave.query) == pytest.approx(
+        cost(r1, scalar.query), rel=1e-12, abs=1e-9
+    )
