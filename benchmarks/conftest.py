@@ -51,7 +51,7 @@ def config_key(config: RouterConfig) -> str:
         f"{config.sorting_scheme}|{config.rrr_sorting_scheme}|"
         f"{config.n_rrr_iterations}|{config.rrr_parallel}|{config.edge_shift}|"
         f"{config.executor}|{config.max_batch_tasks}|{config.backend}|"
-        f"{config.maze_engine}"
+        f"{config.maze_engine}|{config.cost_engine}"
     )
 
 

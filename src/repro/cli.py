@@ -22,6 +22,7 @@ from typing import Optional
 from repro.backend import available_backends
 from repro.core.config import RouterConfig
 from repro.core.router import GlobalRouter
+from repro.grid.cost import COST_ENGINES
 from repro.maze import MAZE_ENGINES
 from repro.sched.pipeline import EXECUTION_POLICIES
 from repro.netlist.benchmarks import BENCHMARKS, benchmark_names, load_benchmark
@@ -60,6 +61,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         overrides["executor"] = args.executor
     if args.maze_engine is not None:
         overrides["maze_engine"] = args.maze_engine
+    if args.cost_engine is not None:
+        overrides["cost_engine"] = args.cost_engine
     config = _PRESETS[args.config](**overrides)
     result = GlobalRouter(design, config).run()
 
@@ -73,6 +76,11 @@ def _cmd_route(args: argparse.Namespace) -> int:
           f"({result.maze_nodes_visited} nodes visited)")
     print(f"maze stage    : {result.maze_time:.3f} s (modelled parallel; "
           f"sequential {result.maze_time_sequential:.3f} s)")
+    cost = result.cost_stats
+    print(f"cost engine   : {result.cost_engine} "
+          f"({cost.get('rebuilds', 0):.0f} rebuilds, "
+          f"{cost.get('refreshed_edges', 0):,.0f} edges refreshed, "
+          f"{cost.get('seconds', 0.0):.3f} s)")
     print(f"total         : {result.total_time:.3f} s")
     print(f"nets to rip up: {result.nets_to_ripup}")
     print(f"wirelength    : {result.metrics.wirelength}")
@@ -166,6 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
         "the scalar heap search, 'wavefront' computes the same "
         "shortest-path distances as batched sweeps on the array "
         "backend (default: the preset's choice)",
+    )
+    route.add_argument(
+        "--cost-engine", choices=COST_ENGINES, default=None,
+        help="cost-snapshot maintenance: 'incremental' refreshes only "
+        "dirty regions and patches prefix suffixes, 'full' recomputes "
+        "everything each rebuild; routes are bit-identical "
+        "(default: the preset's choice)",
     )
     route.add_argument("--guides", default=None, metavar="FILE",
                        help="write routing guides for detailed routing")

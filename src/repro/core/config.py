@@ -62,6 +62,11 @@ class RouterConfig:
     # array backend (faster on large congested regions).
     maze_engine: str = "dijkstra"
     maze_margin: int = 6
+    # Cost-snapshot maintenance: "incremental" drains the grid's
+    # dirty-rect log and patches only affected prefix suffixes;
+    # "full" recomputes everything each rebuild (the bit-identical
+    # oracle the incremental engine is tested against).
+    cost_engine: str = "incremental"
     n_workers: int = 8
     max_chunk_elements: int = 150_000
     cost_model: CostModel = field(default_factory=CostModel)
@@ -95,6 +100,13 @@ class RouterConfig:
             raise ValueError(
                 f"unknown array backend {self.backend!r}; available: "
                 f"{', '.join(available_backends())}"
+            )
+        from repro.grid.cost import COST_ENGINES
+
+        if self.cost_engine not in COST_ENGINES:
+            raise ValueError(
+                f"unknown cost engine {self.cost_engine!r}; available: "
+                f"{', '.join(COST_ENGINES)}"
             )
         if self.t1 > self.t2:
             raise ValueError("selection thresholds must satisfy t1 <= t2")

@@ -83,14 +83,15 @@ class PatternStage(ScheduledStage):
             edge_shift=config.edge_shift,
             max_chunk_elements=config.max_chunk_elements,
             backend=config.backend,
+            cost_engine=config.cost_engine,
         )
         # Stage-start cost snapshot (zero demand): every chunk's masked
         # rebuild pins out-of-footprint costs to these arrays, so its DP
         # is bit-independent of whatever non-conflicting chunks did.
-        self.cost_reference = (
-            list(self.engine.query.wire_cost),
-            self.engine.query.via_cost,
-        )
+        # Must be a deep copy — the incremental engine refreshes its
+        # cost arrays in place, so aliasing them would let later
+        # batches corrupt the pinned reference.
+        self.cost_reference = self.engine.query.snapshot_reference()
         # One simulated accelerator: chunks share the engine's device
         # queue, so kernel launches are framed one task at a time.
         self._engine_lock = threading.Lock()
@@ -173,14 +174,18 @@ def run_pattern_stage(
     config: RouterConfig,
     device: Device,
     arena: ZeroCopyArena,
+    cost_stats: Optional[Dict[str, float]] = None,
 ) -> Tuple[Dict[str, Route], StageReport]:
     """Route every net with pattern routing.
 
     Returns the committed routes (keyed in netlist order) and the
-    pipeline's execution report.
+    pipeline's execution report.  With ``cost_stats`` (a dict the
+    caller owns), the stage's cost-engine counters are written into it.
     """
     stage = PatternStage(design, config, device, arena)
     report = _make_runner(config).run(stage)
+    if cost_stats is not None:
+        cost_stats.update(stage.engine.query.stats.as_dict())
     # Commit order is schedule-dependent under the threaded policy;
     # re-key in netlist order so the mapping itself is deterministic.
     routes = {net.name: stage.routes[net.name] for net in design.netlist}
@@ -192,6 +197,7 @@ def run_rrr_stage(
     config: RouterConfig,
     routes: Dict[str, Route],
     device: Optional[Device] = None,
+    cost_stats: Optional[Dict[str, float]] = None,
 ) -> Tuple[int, List[IterationStats]]:
     """Run the rip-up-and-reroute iterations in place.
 
@@ -199,7 +205,9 @@ def run_rrr_stage(
     (0 when the pattern stage already closed routing — no iteration
     entry is fabricated in that case) and the per-iteration statistics.
     With a ``device``, the wavefront engine's sweep launches are
-    metered into it alongside the pattern kernels.
+    metered into it alongside the pattern kernels.  With ``cost_stats``
+    (a dict the caller owns), the stage's aggregated cost-engine
+    counters are written into it.
     """
     graph = design.graph
     nets_by_name = {net.name: net for net in design.netlist}
@@ -211,6 +219,7 @@ def run_rrr_stage(
         engine=config.maze_engine,
         backend=config.backend,
         device=device,
+        cost_engine=config.cost_engine,
     )
     runner = _make_runner(config)
     rrr_scheme = config.rrr_sorting_scheme or config.sorting_scheme
@@ -241,7 +250,9 @@ def run_rrr_stage(
 
         stage = RerouteStage(engine, routes, ordered_nets, config.maze_margin)
         visited_before = engine.nodes_visited
+        cost_before = engine.cost_engine_stats()
         report = runner.run(stage, schedule=schedule)
+        cost_delta = engine.cost_engine_stats().delta(cost_before)
         iterations.append(
             IterationStats(
                 iteration=iteration,
@@ -253,9 +264,14 @@ def run_rrr_stage(
                 makespan=report.makespan(config.rrr_parallel),
                 engine=engine.engine_name,
                 nodes_visited=engine.nodes_visited - visited_before,
+                cost_rebuilds=cost_delta.rebuilds,
+                cost_refreshed_edges=cost_delta.refreshed_edges,
+                cost_time=cost_delta.seconds,
                 report=report,
             )
         )
+    if cost_stats is not None:
+        cost_stats.update(engine.cost_engine_stats().as_dict())
     return (initial_to_rip or 0, iterations)
 
 

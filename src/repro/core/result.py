@@ -39,6 +39,11 @@ class IterationStats:
     # Nodes settled (dijkstra) / cells relaxed (wavefront) this
     # iteration, summed over all reroute tasks.
     nodes_visited: int = 0
+    # Cost-snapshot maintenance this iteration, summed over all worker
+    # routers: rebuild calls, edge costs actually recomputed, seconds.
+    cost_rebuilds: int = 0
+    cost_refreshed_edges: int = 0
+    cost_time: float = 0.0
     # Full pipeline execution record (policy, timeline, schedule).
     report: Optional[StageReport] = None
 
@@ -62,6 +67,10 @@ class RoutingResult:
     nets_to_ripup: int
     # Search engine of the rip-up stage ("dijkstra" | "wavefront").
     maze_engine: str = "dijkstra"
+    # Cost-snapshot maintenance engine ("full" | "incremental") and its
+    # run-wide counters (pattern + maze stages combined).
+    cost_engine: str = "full"
+    cost_stats: Dict[str, float] = field(default_factory=dict)
     iterations: List[IterationStats] = field(default_factory=list)
     device_stats: Dict[str, float] = field(default_factory=dict)
     transfer_stats: Dict[str, float] = field(default_factory=dict)
@@ -135,6 +144,7 @@ class RoutingResult:
             )
         data.update(self.metrics.as_dict())
         data.update({f"device_{k}": v for k, v in self.device_stats.items()})
+        data.update({f"cost_{k}": v for k, v in self.cost_stats.items()})
         return data
 
 

@@ -49,15 +49,22 @@ class GlobalRouter:
         self.design.validate()
         timer = StageTimer()
 
+        pattern_cost: dict = {}
+        maze_cost: dict = {}
         with timer.stage("pattern"):
             routes, pattern_report = run_pattern_stage(
-                self.design, self.config, self.device, self.arena
+                self.design, self.config, self.device, self.arena,
+                cost_stats=pattern_cost,
             )
         with timer.stage("maze"):
             nets_to_ripup, iterations = run_rrr_stage(
-                self.design, self.config, routes, device=self.device
+                self.design, self.config, routes, device=self.device,
+                cost_stats=maze_cost,
             )
 
+        cost_stats = dict(pattern_cost)
+        for key, value in maze_cost.items():
+            cost_stats[key] = cost_stats.get(key, 0.0) + value
         metrics = RoutingMetrics.measure(routes, self.design.graph)
         return RoutingResult(
             design_name=self.design.name,
@@ -67,6 +74,8 @@ class GlobalRouter:
             stage_times=timer.totals(),
             nets_to_ripup=nets_to_ripup,
             maze_engine=self.config.maze_engine,
+            cost_engine=self.config.cost_engine,
+            cost_stats=cost_stats,
             iterations=iterations,
             pattern_report=pattern_report,
             device_stats={

@@ -87,6 +87,9 @@ def format_rrr_iterations(iterations) -> str:
             it.n_ripped,
             it.n_failed,
             it.nodes_visited,
+            it.cost_rebuilds,
+            it.cost_refreshed_edges,
+            it.cost_time,
             it.sequential_time,
             it.makespan,
         ]
@@ -99,6 +102,9 @@ def format_rrr_iterations(iterations) -> str:
             "ripped",
             "failed",
             "visited",
+            "rebuilds",
+            "refreshed",
+            "cost(s)",
             "maze-seq(s)",
             "makespan(s)",
         ],

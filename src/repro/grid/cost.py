@@ -27,17 +27,116 @@ float64 edge costs.  The prefix sums and batched gathers then run on
 the configured :class:`~repro.backend.ArrayBackend` (``rebuild`` is the
 host-to-device upload; batched queries return backend arrays), which is
 why identical routing falls out of every backend bit for bit.
+
+Two snapshot-maintenance engines share this query interface:
+
+* ``"full"`` — recompute every edge cost and prefix table from scratch
+  on each :meth:`CostQuery.rebuild` (the oracle; O(L*nx*ny) per call);
+* ``"incremental"`` — drain the grid graph's dirty-rect log, recompute
+  edge costs only inside dirty (or requested) regions, and patch the
+  prefix tables by rewriting only the affected row/column suffixes.
+  A prefix sum only changes downstream of the first dirty index, and
+  anchoring the suffix scan on the last clean prefix entry reproduces
+  the from-scratch scan *bit for bit* (IEEE addition of the anchor into
+  the first suffix element is the same pairwise operation sequence the
+  full scan performs).  Results are therefore bit-identical to the full
+  oracle — asserted across backends by ``tests/test_cost_engine.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.backend import ArrayBackend, get_backend
+from repro.grid.geometry import rect_union_area, rects_overlap
 from repro.grid.graph import GridGraph
+
+#: Names accepted by ``RouterConfig.cost_engine`` / ``--cost-engine``.
+COST_ENGINES = ("full", "incremental")
+
+#: Pending-rect lists longer than this collapse to their bounding rect
+#: (conservative overshoot keeps bookkeeping bounded).
+_PENDING_CAP = 16
+
+IntRect = Tuple[int, int, int, int]
+
+
+class StaleCostError(RuntimeError):
+    """A query touched a region whose costs were never refreshed.
+
+    Raised by the incremental engine when a prefix query's span
+    intersects a dirty rect that a window-limited rebuild deliberately
+    left pending.  Serving the stale value silently would break the
+    snapshot contract; rebuild without a window (or with a covering
+    window) to clear the condition.
+    """
+
+
+@dataclass
+class CostEngineStats:
+    """Cumulative snapshot-maintenance counters of one :class:`CostQuery`."""
+
+    full_rebuilds: int = 0
+    masked_rebuilds: int = 0
+    incremental_rebuilds: int = 0
+    refreshed_wire_edges: int = 0
+    refreshed_via_edges: int = 0
+    seconds: float = 0.0
+
+    @property
+    def rebuilds(self) -> int:
+        """Total rebuild calls of any kind."""
+        return self.full_rebuilds + self.masked_rebuilds + self.incremental_rebuilds
+
+    @property
+    def refreshed_edges(self) -> int:
+        """Total edge-cost entries recomputed or rewritten."""
+        return self.refreshed_wire_edges + self.refreshed_via_edges
+
+    def copy(self) -> "CostEngineStats":
+        """Return an independent snapshot of the counters."""
+        return replace(self)
+
+    def add(self, other: "CostEngineStats") -> None:
+        """Fold another stats record into this one (aggregation)."""
+        self.full_rebuilds += other.full_rebuilds
+        self.masked_rebuilds += other.masked_rebuilds
+        self.incremental_rebuilds += other.incremental_rebuilds
+        self.refreshed_wire_edges += other.refreshed_wire_edges
+        self.refreshed_via_edges += other.refreshed_via_edges
+        self.seconds += other.seconds
+
+    def delta(self, earlier: "CostEngineStats") -> "CostEngineStats":
+        """Return the counter deltas since an ``earlier`` snapshot."""
+        return CostEngineStats(
+            full_rebuilds=self.full_rebuilds - earlier.full_rebuilds,
+            masked_rebuilds=self.masked_rebuilds - earlier.masked_rebuilds,
+            incremental_rebuilds=(
+                self.incremental_rebuilds - earlier.incremental_rebuilds
+            ),
+            refreshed_wire_edges=(
+                self.refreshed_wire_edges - earlier.refreshed_wire_edges
+            ),
+            refreshed_via_edges=self.refreshed_via_edges - earlier.refreshed_via_edges,
+            seconds=self.seconds - earlier.seconds,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary used by results and benchmark harnesses."""
+        return {
+            "rebuilds": float(self.rebuilds),
+            "full_rebuilds": float(self.full_rebuilds),
+            "masked_rebuilds": float(self.masked_rebuilds),
+            "incremental_rebuilds": float(self.incremental_rebuilds),
+            "refreshed_edges": float(self.refreshed_edges),
+            "refreshed_wire_edges": float(self.refreshed_wire_edges),
+            "refreshed_via_edges": float(self.refreshed_via_edges),
+            "seconds": self.seconds,
+        }
 
 
 @dataclass
@@ -51,14 +150,30 @@ class CostModel:
     overflow_weight: float = 64.0
 
     def congestion(self, demand: np.ndarray, capacity: np.ndarray) -> np.ndarray:
-        """Return the congestion cost component, elementwise."""
+        """Return the congestion cost component, elementwise.
+
+        Written with direct ufunc calls and in-place updates: the
+        incremental engine evaluates this on many small dirty slabs,
+        where ``np.clip``'s dispatch and the temporaries would dominate.
+        Every step is value-identical to the textbook form
+        ``slope/(1+exp(clip(-k*(d+0.5-c), -60, 60))) + w*max(d+1-c, 0)``
+        (only commutative reorderings), so snapshots stay bit-identical.
+        """
+        exponent = demand + 0.5
+        exponent -= capacity
+        exponent *= -self.congestion_steepness
         # Clip the exponent so saturated edges cannot overflow exp().
-        exponent = np.clip(
-            -self.congestion_steepness * (demand + 0.5 - capacity), -60.0, 60.0
-        )
-        logistic = self.congestion_slope / (1.0 + np.exp(exponent))
-        overflow = self.overflow_weight * np.maximum(demand + 1.0 - capacity, 0.0)
-        return logistic + overflow
+        np.maximum(exponent, -60.0, out=exponent)
+        np.minimum(exponent, 60.0, out=exponent)
+        np.exp(exponent, out=exponent)
+        exponent += 1.0
+        logistic = np.divide(self.congestion_slope, exponent, out=exponent)
+        overflow = demand + 1.0
+        overflow -= capacity
+        np.maximum(overflow, 0.0, out=overflow)
+        overflow *= self.overflow_weight
+        logistic += overflow
+        return logistic
 
     def wire_edge_costs(self, graph: GridGraph, layer: int) -> np.ndarray:
         """Return the cost array of every wire edge on ``layer``."""
@@ -84,6 +199,13 @@ class CostQuery:
     arrays (which the maze router reads directly) always stay host-side
     NumPy.  Batched queries return backend arrays — callers own the
     ``to_numpy`` boundary.
+
+    ``engine`` selects snapshot maintenance: ``"full"`` rebuilds from
+    scratch each call (the oracle — also the right choice when demand
+    arrays are mutated directly, bypassing the graph's dirty log);
+    ``"incremental"`` subscribes to :attr:`GridGraph.dirty` and patches
+    only dirty regions and the prefix suffixes they invalidate, reusing
+    preallocated buffers.  Both produce bit-identical snapshots.
     """
 
     def __init__(
@@ -91,10 +213,17 @@ class CostQuery:
         graph: GridGraph,
         model: CostModel,
         backend: Optional[ArrayBackend] = None,
+        engine: str = "full",
     ) -> None:
+        if engine not in COST_ENGINES:
+            raise ValueError(
+                f"unknown cost engine {engine!r}; available: "
+                f"{', '.join(COST_ENGINES)}"
+            )
         self.graph = graph
         self.model = model
         self.backend = backend if backend is not None else get_backend("numpy")
+        self.engine = engine
         self.n_layers = graph.n_layers
         h_allowed = np.array(
             [graph.stack.is_horizontal(l) for l in range(self.n_layers)], dtype=bool
@@ -109,13 +238,35 @@ class CostQuery:
         self._h_prefix_dev = None  # device twins of the three tables
         self._v_prefix_dev = None
         self._via_prefix_dev = None
+        #: Snapshot-maintenance counters (monotone; snapshot/delta to
+        #: attribute work per stage or iteration).
+        self.stats = CostEngineStats()
+        #: Bytes of edge-cost data the last rebuild actually rewrote —
+        #: the deduplicated tally the zero-copy arena accounts.
+        self.last_upload_bytes = 0
+        # --- incremental-engine state -------------------------------- #
+        self._incremental = engine == "incremental"
+        self._ready = False  # persistent buffers filled at least once
+        self._buffers = False  # persistent buffers allocated
+        self._cursor = 0  # dirty-log position reflected in the snapshot
+        self._mode = "demand"  # "demand" | "masked"
+        self._pending_wire: Dict[int, List[IntRect]] = {}  # layer -> edge rects
+        self._pending_via: List[IntRect] = []  # G-cell rects (full pillar)
+        self._prefix_wire_dirty: Dict[int, IntRect] = {}  # layer -> bbox
+        self._prefix_via_dirty: Optional[IntRect] = None
+        self._dev_stale = False
+        self._masked_ref = None  # reference identity of the masked snapshot
+        self._masked_boxes: Tuple = ()
+        self._h_edge: Optional[np.ndarray] = None  # persistent padded scratch
+        self._v_edge: Optional[np.ndarray] = None
+        self._z_edge: Optional[np.ndarray] = None
         self.rebuild()
 
     # ------------------------------------------------------------------ #
     # Snapshot construction
     # ------------------------------------------------------------------ #
-    def rebuild(self, boxes=None, reference=None) -> None:
-        """Recompute all edge costs and prefix sums from current demand.
+    def rebuild(self, boxes=None, reference=None, window=None) -> None:
+        """Refresh the snapshot from current demand.
 
         Edge costs are computed host-side (see module docstring), then
         uploaded; the prefix scans run on the backend so the snapshot
@@ -131,7 +282,30 @@ class CostQuery:
         bit for bit, because upstream prefix contributions are pinned.
         The scheduler relies on this: tasks whose footprints do not
         overlap see identical snapshots no matter which finished first.
+
+        ``window`` (a ``(x0, y0, x1, y1)`` G-cell rect) limits an
+        *incremental* unmasked refresh to dirty regions intersecting the
+        window — the per-net maze refresh.  Regions left pending stay
+        guarded: prefix queries that touch them raise
+        :class:`StaleCostError` instead of serving stale costs.  The
+        full engine ignores ``window`` (it always refreshes everything).
         """
+        start = perf_counter()
+        try:
+            if self._incremental:
+                if boxes is not None:
+                    if reference is None:
+                        raise ValueError("masked rebuild needs a cost reference")
+                    self._masked_incremental(boxes, reference)
+                else:
+                    self._demand_incremental(window)
+            else:
+                self._rebuild_full(boxes, reference)
+        finally:
+            self.stats.seconds += perf_counter() - start
+
+    def _rebuild_full(self, boxes, reference) -> None:
+        """The from-scratch oracle: fresh arrays, full recompute."""
         graph, model, xp = self.graph, self.model, self.backend
         nx, ny, n_layers = graph.nx, graph.ny, self.n_layers
         if boxes is None:
@@ -195,6 +369,456 @@ class CostQuery:
             self._v_prefix = xp.to_numpy(self._v_prefix_dev)
             self._via_prefix = xp.to_numpy(self._via_prefix_dev)
 
+        if boxes is None:
+            self.stats.full_rebuilds += 1
+            wire_n = sum(int(a.size) for a in self.wire_cost)
+            via_n = int(self.via_cost.size)
+        else:
+            self.stats.masked_rebuilds += 1
+            wire_n, via_n = self._boxes_edge_tally(boxes)
+        self.stats.refreshed_wire_edges += wire_n
+        self.stats.refreshed_via_edges += via_n
+        self.last_upload_bytes = (wire_n + via_n) * self.via_cost.itemsize
+
+    def _boxes_edge_tally(self, boxes) -> Tuple[int, int]:
+        """Deduplicated (wire, via) edge counts covered by ``boxes``."""
+        h_rects = [(b.xlo, b.ylo, b.xhi - 1, b.yhi) for b in boxes]
+        v_rects = [(b.xlo, b.ylo, b.xhi, b.yhi - 1) for b in boxes]
+        cell_rects = [(b.xlo, b.ylo, b.xhi, b.yhi) for b in boxes]
+        n_h = int(self._h_allowed.sum())
+        n_v = self.n_layers - n_h
+        wire_n = rect_union_area(h_rects) * n_h + rect_union_area(v_rects) * n_v
+        via_n = rect_union_area(cell_rects) * max(self.n_layers - 1, 0)
+        return wire_n, via_n
+
+    # ------------------------------------------------------------------ #
+    # Incremental engine
+    # ------------------------------------------------------------------ #
+    def _ensure_buffers(self) -> None:
+        """Allocate the persistent scratch and prefix buffers once."""
+        if self._buffers:
+            return
+        graph = self.graph
+        nx, ny, n_layers = graph.nx, graph.ny, self.n_layers
+        self.wire_cost = [
+            np.zeros(graph._wire_array_shape(layer)) for layer in range(n_layers)
+        ]
+        self.via_cost = np.zeros((max(n_layers - 1, 0), nx, ny))
+        self._h_edge = np.zeros((n_layers, nx, ny))
+        self._v_edge = np.zeros((n_layers, nx, ny))
+        self._z_edge = np.zeros((n_layers, nx, ny))
+        self._h_prefix = np.zeros((n_layers, nx, ny))
+        self._v_prefix = np.zeros((n_layers, nx, ny))
+        self._via_prefix = np.zeros((n_layers, nx, ny))
+        if self.backend.device_is_host:
+            # In-place host patches keep the device twins current for
+            # free — they are the same arrays.
+            self._h_prefix_dev = self._h_prefix
+            self._v_prefix_dev = self._v_prefix
+            self._via_prefix_dev = self._via_prefix
+        self._buffers = True
+
+    def _full_refresh(self) -> None:
+        """Recompute everything into the persistent buffers."""
+        graph, model = self.graph, self.model
+        self._ensure_buffers()
+        # Read the log position BEFORE the demand arrays: a record that
+        # lands in between gets re-refreshed on the next drain
+        # (overshoot), whereas the opposite order could skip a mutation
+        # forever.
+        end = graph.dirty.end
+        for layer in range(self.n_layers):
+            np.copyto(self.wire_cost[layer], model.wire_edge_costs(graph, layer))
+            if self._h_allowed[layer]:
+                self._h_edge[layer, 1:, :] = self.wire_cost[layer]
+            else:
+                self._v_edge[layer, :, 1:] = self.wire_cost[layer]
+        if self.via_cost.size:
+            np.copyto(self.via_cost, model.via_edge_costs(graph))
+            self._z_edge[1:] = self.via_cost
+        np.cumsum(self._h_edge, axis=1, out=self._h_prefix)
+        np.cumsum(self._v_edge, axis=2, out=self._v_prefix)
+        np.cumsum(self._z_edge, axis=0, out=self._via_prefix)
+        self._cursor = end
+        self._mode = "demand"
+        self._masked_ref = None
+        self._masked_boxes = ()
+        self._pending_wire = {}
+        self._pending_via = []
+        self._prefix_wire_dirty = {}
+        self._prefix_via_dirty = None
+        self._dev_stale = not self.backend.device_is_host
+        self._ready = True
+        wire_n = sum(int(a.size) for a in self.wire_cost)
+        via_n = int(self.via_cost.size)
+        self.stats.full_rebuilds += 1
+        self.stats.refreshed_wire_edges += wire_n
+        self.stats.refreshed_via_edges += via_n
+        self.last_upload_bytes = (wire_n + via_n) * self.via_cost.itemsize
+
+    def _demand_incremental(self, window: Optional[IntRect]) -> None:
+        """Drain the dirty log and refresh dirty regions (∩ window)."""
+        graph = self.graph
+        if not self._ready or self._mode != "demand":
+            self._full_refresh()
+            return
+        records, end = graph.dirty.since(self._cursor)
+        self._cursor = end
+        if records is None:
+            # The log compacted past our cursor — everything is suspect.
+            self._full_refresh()
+            return
+        for rec in records:
+            kind = rec[0]
+            if kind == "all":
+                self._full_refresh()
+                return
+            if kind == "w":
+                self._push_pending_wire(rec[1], rec[2:])
+            else:  # "v"
+                self._push_pending_via(rec[1:])
+        self.stats.incremental_rebuilds += 1
+
+        refreshed_wire: Dict[int, List[IntRect]] = {}
+        refreshed_via: List[IntRect] = []
+        if window is None:
+            for layer, rects in self._pending_wire.items():
+                done = [
+                    c
+                    for rect in rects
+                    if (c := self._refresh_wire_rect(layer, rect)) is not None
+                ]
+                if done:
+                    refreshed_wire[layer] = done
+            for rect in self._pending_via:
+                clipped = self._refresh_via_rect(rect)
+                if clipped is not None:
+                    refreshed_via.append(clipped)
+            self._pending_wire = {}
+            self._pending_via = []
+        else:
+            x0, y0, x1, y1 = window
+            for layer in list(self._pending_wire):
+                # The window's edge footprint on this layer: the edges
+                # a search restricted to the window can read.
+                if self._h_allowed[layer]:
+                    wrect = (x0, y0, x1 - 1, y1)
+                else:
+                    wrect = (x0, y0, x1, y1 - 1)
+                keep: List[IntRect] = []
+                done: List[IntRect] = []
+                for rect in self._pending_wire[layer]:
+                    if wrect[0] <= wrect[2] and wrect[1] <= wrect[3] and rects_overlap(
+                        rect, wrect
+                    ):
+                        clipped = self._refresh_wire_rect(layer, rect)
+                        if clipped is not None:
+                            done.append(clipped)
+                    else:
+                        keep.append(rect)
+                if keep:
+                    self._pending_wire[layer] = keep
+                else:
+                    del self._pending_wire[layer]
+                if done:
+                    refreshed_wire[layer] = done
+            wrect = (x0, y0, x1, y1)
+            keep_via: List[IntRect] = []
+            for rect in self._pending_via:
+                if rects_overlap(rect, wrect):
+                    clipped = self._refresh_via_rect(rect)
+                    if clipped is not None:
+                        refreshed_via.append(clipped)
+                else:
+                    keep_via.append(rect)
+            self._pending_via = keep_via
+
+        wire_n = sum(rect_union_area(rects) for rects in refreshed_wire.values())
+        via_n = rect_union_area(refreshed_via) * max(self.n_layers - 1, 0)
+        self.stats.refreshed_wire_edges += wire_n
+        self.stats.refreshed_via_edges += via_n
+        self.last_upload_bytes = (wire_n + via_n) * self.via_cost.itemsize
+
+    def _masked_incremental(self, boxes, reference) -> None:
+        """Masked rebuild without per-batch deep copies.
+
+        The persistent arrays hold the previous masked snapshot (same
+        reference): reverting the previous boxes' slices back to the
+        reference and recomputing the new boxes' slices from demand
+        reproduces the oracle masked rebuild bit for bit — the rest of
+        the arrays already equal the reference.  A reference change
+        (once per stage) seeds the buffers with one full copy.
+        """
+        seeded = not (
+            self._ready and self._mode == "masked" and self._same_reference(reference)
+        )
+        if seeded:
+            self._seed_from_reference(reference)
+        h_rects: Set[IntRect] = set()
+        v_rects: Set[IntRect] = set()
+        via_rects: Set[IntRect] = set()
+        if not seeded:
+            for box in self._masked_boxes:
+                self._apply_box(box, reference, h_rects, v_rects, via_rects)
+        for box in boxes:
+            self._apply_box(box, None, h_rects, v_rects, via_rects)
+        self._masked_boxes = tuple(boxes)
+        self._dev_stale = not self.backend.device_is_host
+        self.stats.masked_rebuilds += 1
+        if seeded:
+            wire_n = sum(int(a.size) for a in self.wire_cost)
+            via_n = int(self.via_cost.size)
+        else:
+            n_h = int(self._h_allowed.sum())
+            n_v = self.n_layers - n_h
+            wire_n = (
+                rect_union_area(h_rects) * n_h + rect_union_area(v_rects) * n_v
+            )
+            via_n = rect_union_area(via_rects) * max(self.n_layers - 1, 0)
+        self.stats.refreshed_wire_edges += wire_n
+        self.stats.refreshed_via_edges += via_n
+        self.last_upload_bytes = (wire_n + via_n) * self.via_cost.itemsize
+
+    def _same_reference(self, reference) -> bool:
+        prev = self._masked_ref
+        if prev is None:
+            return False
+        prev_wire, prev_via = prev
+        ref_wire, ref_via = reference
+        return (
+            prev_via is ref_via
+            and len(prev_wire) == len(ref_wire)
+            and all(a is b for a, b in zip(prev_wire, ref_wire))
+        )
+
+    def _seed_from_reference(self, reference) -> None:
+        """Copy the whole reference into the persistent buffers (once
+        per stage reference, not once per batch)."""
+        ref_wire, ref_via = reference
+        self._ensure_buffers()
+        for layer in range(self.n_layers):
+            arr = self.wire_cost[layer]
+            np.copyto(arr, ref_wire[layer])
+            self._mirror_wire(layer, 0, 0, arr.shape[0] - 1, arr.shape[1] - 1)
+        if self.via_cost.size:
+            np.copyto(self.via_cost, ref_via)
+            self._z_edge[1:] = self.via_cost
+        np.cumsum(self._h_edge, axis=1, out=self._h_prefix)
+        np.cumsum(self._v_edge, axis=2, out=self._v_prefix)
+        np.cumsum(self._z_edge, axis=0, out=self._via_prefix)
+        self._mode = "masked"
+        self._masked_ref = reference
+        self._masked_boxes = ()
+        self._pending_wire = {}
+        self._pending_via = []
+        self._prefix_wire_dirty = {}
+        self._prefix_via_dirty = None
+        self._dev_stale = not self.backend.device_is_host
+        self._ready = True
+
+    def _apply_box(
+        self,
+        box,
+        reference,
+        h_rects: Set[IntRect],
+        v_rects: Set[IntRect],
+        via_rects: Set[IntRect],
+    ) -> None:
+        """Write one box's edges — from demand, or pinned to ``reference``."""
+        for layer in range(self.n_layers):
+            if self._h_allowed[layer]:
+                rect = (box.xlo, box.ylo, box.xhi - 1, box.yhi)
+            else:
+                rect = (box.xlo, box.ylo, box.xhi, box.yhi - 1)
+            clipped = self._refresh_wire_rect(layer, rect, reference)
+            if clipped is not None:
+                (h_rects if self._h_allowed[layer] else v_rects).add(clipped)
+        clipped = self._refresh_via_rect(
+            (box.xlo, box.ylo, box.xhi, box.yhi), reference
+        )
+        if clipped is not None:
+            via_rects.add(clipped)
+
+    # -- region refresh primitives ------------------------------------- #
+    def _refresh_wire_rect(
+        self, layer: int, rect: Sequence[int], reference=None
+    ) -> Optional[IntRect]:
+        """Rewrite one wire-edge rect (clipped); return what was written."""
+        arr = self.wire_cost[layer]
+        xlo = max(rect[0], 0)
+        ylo = max(rect[1], 0)
+        xhi = min(rect[2], arr.shape[0] - 1)
+        yhi = min(rect[3], arr.shape[1] - 1)
+        if xhi < xlo or yhi < ylo:
+            return None
+        sl = (slice(xlo, xhi + 1), slice(ylo, yhi + 1))
+        if reference is None:
+            graph, model = self.graph, self.model
+            arr[sl] = model.unit_wire_cost + model.congestion(
+                graph.wire_demand[layer][sl], graph.wire_capacity[layer][sl]
+            )
+        else:
+            arr[sl] = reference[0][layer][sl]
+        self._mirror_wire(layer, xlo, ylo, xhi, yhi)
+        self._merge_prefix_wire(layer, (xlo, ylo, xhi, yhi))
+        return (xlo, ylo, xhi, yhi)
+
+    def _refresh_via_rect(
+        self, rect: Sequence[int], reference=None
+    ) -> Optional[IntRect]:
+        """Rewrite the full via pillars of one G-cell rect (clipped)."""
+        graph = self.graph
+        if self.via_cost.size == 0:
+            return None
+        xlo = max(rect[0], 0)
+        ylo = max(rect[1], 0)
+        xhi = min(rect[2], graph.nx - 1)
+        yhi = min(rect[3], graph.ny - 1)
+        if xhi < xlo or yhi < ylo:
+            return None
+        vsl = (slice(None), slice(xlo, xhi + 1), slice(ylo, yhi + 1))
+        if reference is None:
+            model = self.model
+            self.via_cost[vsl] = model.unit_via_cost + model.congestion(
+                graph.via_demand[vsl], graph.via_capacity[vsl]
+            )
+        else:
+            self.via_cost[vsl] = reference[1][vsl]
+        self._z_edge[1:, xlo : xhi + 1, ylo : yhi + 1] = self.via_cost[vsl]
+        self._merge_prefix_via((xlo, ylo, xhi, yhi))
+        return (xlo, ylo, xhi, yhi)
+
+    def _mirror_wire(self, layer: int, xlo: int, ylo: int, xhi: int, yhi: int) -> None:
+        """Copy a wire_cost rect into the padded edge scratch."""
+        src = self.wire_cost[layer][xlo : xhi + 1, ylo : yhi + 1]
+        if self._h_allowed[layer]:
+            self._h_edge[layer, xlo + 1 : xhi + 2, ylo : yhi + 1] = src
+        else:
+            self._v_edge[layer, xlo : xhi + 1, ylo + 1 : yhi + 2] = src
+
+    # -- pending / prefix-dirty bookkeeping ----------------------------- #
+    def _push_pending_wire(self, layer: int, rect: Sequence[int]) -> None:
+        _push_pending(self._pending_wire.setdefault(layer, []), tuple(rect))
+
+    def _push_pending_via(self, rect: Sequence[int]) -> None:
+        _push_pending(self._pending_via, tuple(rect))
+
+    def _merge_prefix_wire(self, layer: int, rect: IntRect) -> None:
+        prev = self._prefix_wire_dirty.get(layer)
+        self._prefix_wire_dirty[layer] = rect if prev is None else _merge(prev, rect)
+
+    def _merge_prefix_via(self, rect: IntRect) -> None:
+        prev = self._prefix_via_dirty
+        self._prefix_via_dirty = rect if prev is None else _merge(prev, rect)
+
+    def _flush_prefix_patches(self) -> None:
+        """Patch the host prefix tables over the dirty bounding rects.
+
+        A prefix sum only changes downstream of the first dirty index,
+        so each patch rewrites a suffix: copy the suffix of edge values,
+        fold the last clean prefix entry into the first element (IEEE
+        addition is commutative bitwise, so ``edge + anchor`` equals the
+        full scan's ``anchor + edge``), and run the same sequential
+        ``cumsum`` the full build would — the patched entries are
+        bit-identical to a from-scratch rebuild.
+        """
+        for layer, (xlo, ylo, xhi, yhi) in self._prefix_wire_dirty.items():
+            if self._h_allowed[layer]:
+                s = xlo + 1  # first modified padded-edge index along x
+                rows = slice(ylo, yhi + 1)
+                tmp = self._h_edge[layer, s:, rows].copy()
+                tmp[0] += self._h_prefix[layer, s - 1, rows]
+                np.cumsum(tmp, axis=0, out=self._h_prefix[layer, s:, rows])
+            else:
+                s = ylo + 1
+                cols = slice(xlo, xhi + 1)
+                tmp = self._v_edge[layer, cols, s:].copy()
+                tmp[:, 0] += self._v_prefix[layer, cols, s - 1]
+                np.cumsum(tmp, axis=1, out=self._v_prefix[layer, cols, s:])
+        if self._prefix_via_dirty is not None:
+            xlo, ylo, xhi, yhi = self._prefix_via_dirty
+            # Via refreshes rewrite whole pillars, so the "suffix" is
+            # the full layer axis (including the zero pad at layer 0).
+            sl = (slice(None), slice(xlo, xhi + 1), slice(ylo, yhi + 1))
+            np.cumsum(self._z_edge[sl], axis=0, out=self._via_prefix[sl])
+        self._prefix_wire_dirty = {}
+        self._prefix_via_dirty = None
+        if not self.backend.device_is_host:
+            self._dev_stale = True
+
+    def _flush_if_dirty(self) -> None:
+        if self._prefix_wire_dirty or self._prefix_via_dirty is not None:
+            self._flush_prefix_patches()
+
+    def _ensure_tables(self) -> None:
+        """Make the device prefix twins current (flush + upload)."""
+        self._flush_if_dirty()
+        if self._dev_stale:
+            xp = self.backend
+            self._h_prefix_dev = xp.asarray(self._h_prefix)
+            self._v_prefix_dev = xp.asarray(self._v_prefix)
+            self._via_prefix_dev = xp.asarray(self._via_prefix)
+            self._dev_stale = False
+
+    def sync(self) -> None:
+        """Flush lazy prefix patches and device uploads (incremental
+        engine; no-op on the full engine).  Mainly for tests and
+        benchmarks that inspect the tables directly."""
+        if self._incremental:
+            self._ensure_tables()
+
+    def snapshot_reference(self) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Deep-copied ``(wire_cost, via_cost)`` for masked rebuilds.
+
+        Callers must hold a *copy*: the incremental engine refreshes its
+        cost arrays in place, so aliasing them as a pinned reference
+        would let later batches corrupt it.
+        """
+        return [a.copy() for a in self.wire_cost], self.via_cost.copy()
+
+    # -- staleness guards ----------------------------------------------- #
+    def _guard_wire(self, layer: int, rect: IntRect) -> None:
+        rects = self._pending_wire.get(layer)
+        if rects:
+            for pending in rects:
+                if rects_overlap(pending, rect):
+                    raise StaleCostError(
+                        f"wire costs on layer {layer} near {pending} were "
+                        "left pending by a window-limited rebuild; rebuild "
+                        "without a window before querying this region"
+                    )
+
+    def _guard_via(self, rect: IntRect) -> None:
+        for pending in self._pending_via:
+            if rects_overlap(pending, rect):
+                raise StaleCostError(
+                    f"via costs near {pending} were left pending by a "
+                    "window-limited rebuild; rebuild without a window "
+                    "before querying this region"
+                )
+
+    def _prepare_batch_wire(self, x1, y1, x2, y2) -> None:
+        if self._pending_wire and x1.size:
+            xlo = int(min(x1.min(), x2.min()))
+            xhi = int(max(x1.max(), x2.max()))
+            ylo = int(min(y1.min(), y2.min()))
+            yhi = int(max(y1.max(), y2.max()))
+            for layer in self._pending_wire:
+                if self._h_allowed[layer]:
+                    rect = (xlo, ylo, xhi - 1, yhi)
+                else:
+                    rect = (xlo, ylo, xhi, yhi - 1)
+                if rect[0] <= rect[2] and rect[1] <= rect[3]:
+                    self._guard_wire(layer, rect)
+        self._ensure_tables()
+
+    def _prepare_batch_via(self, x, y) -> None:
+        if self._pending_via and x.size:
+            self._guard_via(
+                (int(x.min()), int(y.min()), int(x.max()), int(y.max()))
+            )
+        self._ensure_tables()
+
     # ------------------------------------------------------------------ #
     # Scalar queries (host side)
     # ------------------------------------------------------------------ #
@@ -211,14 +835,23 @@ class CostQuery:
             return float("inf")
         if horizontal:
             lo, hi = sorted((x1, x2))
+            if self._incremental:
+                self._guard_wire(layer, (lo, y1, hi - 1, y1))
+                self._flush_if_dirty()
             return float(self._h_prefix[layer, hi, y1] - self._h_prefix[layer, lo, y1])
         lo, hi = sorted((y1, y2))
+        if self._incremental:
+            self._guard_wire(layer, (x1, lo, x1, hi - 1))
+            self._flush_if_dirty()
         return float(self._v_prefix[layer, x1, hi] - self._v_prefix[layer, x1, lo])
 
     def via_stack_cost(self, x: int, y: int, lo: int, hi: int) -> float:
         """Return the cost of a via stack spanning layers ``lo``..``hi``."""
         if lo > hi:
             lo, hi = hi, lo
+        if self._incremental:
+            self._guard_via((x, y, x, y))
+            self._flush_if_dirty()
         return float(self._via_prefix[hi, x, y] - self._via_prefix[lo, x, y])
 
     # ------------------------------------------------------------------ #
@@ -241,6 +874,8 @@ class CostQuery:
             raise ValueError("segment coordinate arrays must share a shape")
         if np.any((x1 != x2) & (y1 != y2)):
             raise ValueError("segments must be axis-aligned")
+        if self._incremental:
+            self._prepare_batch_wire(x1, y1, x2, y2)
 
         degenerate = (x1 == x2) & (y1 == y2)
         horizontal = (y1 == y2) & ~degenerate
@@ -270,9 +905,11 @@ class CostQuery:
         columns.  This is the primitive behind both the via matrices of
         Eq. 6/12/13 and the via-interval DP that combines children costs.
         """
-        return self.backend.gather_points(
-            self._via_prefix_dev, np.asarray(x, dtype=int), np.asarray(y, dtype=int)
-        )
+        x = np.asarray(x, dtype=int)
+        y = np.asarray(y, dtype=int)
+        if self._incremental:
+            self._prepare_batch_via(x, y)
+        return self.backend.gather_points(self._via_prefix_dev, x, y)
 
     def via_matrix(self, x, y):
         """Return ``(B, L, L)`` via-stack costs between every layer pair.
@@ -284,3 +921,39 @@ class CostQuery:
         xp = self.backend
         prefix = self.via_prefix_at(x, y)  # (B, L)
         return xp.abs(xp.subtract(xp.expand_dims(prefix, 2), xp.expand_dims(prefix, 1)))
+
+
+def _merge(a: IntRect, b: IntRect) -> IntRect:
+    return (min(a[0], b[0]), min(a[1], b[1]), max(a[2], b[2]), max(a[3], b[3]))
+
+
+def _rect_area(r: IntRect) -> int:
+    return max(r[2] - r[0] + 1, 0) * max(r[3] - r[1] + 1, 0)
+
+
+def _push_pending(rects: List[IntRect], rect: IntRect) -> None:
+    """Append a pending rect, bounding the list at ``_PENDING_CAP``.
+
+    At the cap, the new rect is folded into the existing rect whose
+    bounding union grows the least (conservative overshoot).  This keeps
+    spatially-distant dirty regions separate — collapsing everything to
+    one bbox would make every windowed refresh near-full-grid.
+    """
+    if len(rects) < _PENDING_CAP:
+        rects.append(rect)
+        return
+    best, best_growth = 0, None
+    for i, other in enumerate(rects):
+        growth = _rect_area(_merge(other, rect)) - _rect_area(other)
+        if best_growth is None or growth < best_growth:
+            best, best_growth = i, growth
+    rects[best] = _merge(rects[best], rect)
+
+
+__all__ = [
+    "COST_ENGINES",
+    "CostEngineStats",
+    "CostModel",
+    "CostQuery",
+    "StaleCostError",
+]

@@ -11,11 +11,85 @@ overflow, which the contest metric (and the paper's Eq. 15) counts as
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.grid.layers import LayerStack
+
+#: A dirty-log record.  Three shapes:
+#:   ("w", layer, xlo, ylo, xhi, yhi) — wire edges touched, in the
+#:       layer's wire-array *edge* coordinates (both corners inclusive);
+#:   ("v", xlo, ylo, xhi, yhi)        — via pillars touched, in G-cell
+#:       coordinates (the whole layer span of each pillar is dirty);
+#:   ("all",)                         — everything is dirty (bulk writes).
+DirtyRecord = Tuple
+
+
+class DirtyLog:
+    """Append-only log of demand-touching rectangles.
+
+    Every demand mutation appends a record *after* the arrays are
+    written, so a reader that drains the log up to position ``p`` and
+    then reads the demand arrays sees at least every mutation recorded
+    before ``p`` (it may see newer demand too — incremental consumers
+    treat that as overshoot and re-refresh when the record arrives).
+
+    Multiple subscribers (one :class:`~repro.grid.cost.CostQuery` per
+    worker thread in the reroute stage) each keep their own cursor and
+    call :meth:`since` independently.  The log compacts itself once it
+    exceeds ``max_records``; a cursor that predates the retained window
+    gets ``None`` back and must treat the whole grid as dirty — stale
+    data is never served silently.
+    """
+
+    ALL: DirtyRecord = ("all",)
+
+    def __init__(self, max_records: int = 1 << 16) -> None:
+        self._records: List[DirtyRecord] = []
+        self._base = 0
+        self._max_records = max_records
+        self._lock = threading.Lock()
+
+    @property
+    def end(self) -> int:
+        """The log position just past the newest record (the demand epoch)."""
+        with self._lock:
+            return self._base + len(self._records)
+
+    def _compact(self) -> None:
+        if len(self._records) > self._max_records:
+            drop = len(self._records) // 2
+            del self._records[:drop]
+            self._base += drop
+
+    def append(self, record: DirtyRecord) -> None:
+        """Append one record (thread-safe)."""
+        with self._lock:
+            self._records.append(record)
+            self._compact()
+
+    def extend(self, records: Sequence[DirtyRecord]) -> None:
+        """Append several records atomically (thread-safe)."""
+        if not records:
+            return
+        with self._lock:
+            self._records.extend(records)
+            self._compact()
+
+    def since(self, cursor: int) -> Tuple[Optional[List[DirtyRecord]], int]:
+        """Return ``(records, end)`` for everything logged at/after ``cursor``.
+
+        ``records`` is ``None`` when ``cursor`` predates the retained
+        window (compaction dropped records the caller never saw) — the
+        caller must then refresh everything.
+        """
+        with self._lock:
+            end = self._base + len(self._records)
+            if cursor < self._base:
+                return None, end
+            return self._records[cursor - self._base :], end
 
 
 class GridGraph:
@@ -59,6 +133,14 @@ class GridGraph:
         # Via edges between layer l and l+1 at every (x, y).
         self.via_capacity = np.full((stack.n_layers - 1, nx, ny), float(via_capacity))
         self.via_demand = np.zeros((stack.n_layers - 1, nx, ny))
+        # Dirty-region log: demand mutations record the rects they
+        # touched so incremental cost engines refresh only those.
+        self.dirty = DirtyLog()
+
+    @property
+    def demand_epoch(self) -> int:
+        """Monotone counter advanced by every logged demand mutation."""
+        return self.dirty.end
 
     # ------------------------------------------------------------------ #
     # Shapes and validation
@@ -81,12 +163,22 @@ class GridGraph:
     # Demand updates
     # ------------------------------------------------------------------ #
     def add_wire_demand(
-        self, layer: int, x1: int, y1: int, x2: int, y2: int, amount: float = 1.0
+        self,
+        layer: int,
+        x1: int,
+        y1: int,
+        x2: int,
+        y2: int,
+        amount: float = 1.0,
+        log: bool = True,
     ) -> None:
         """Add ``amount`` demand on every wire edge of a straight segment.
 
         The segment must be axis-aligned along the layer's preferred
-        direction.  A zero-length segment adds nothing.
+        direction.  A zero-length segment adds nothing.  With ``log``
+        the touched edge rect is appended to the dirty log (callers that
+        coalesce several segments into one record — :meth:`Route.commit`
+        — pass ``log=False`` and log the merged rects themselves).
         """
         if not (self.in_bounds(x1, y1) and self.in_bounds(x2, y2)):
             raise ValueError(f"segment endpoint off grid: ({x1},{y1})-({x2},{y2})")
@@ -98,15 +190,28 @@ class GridGraph:
                 f"segment ({x1},{y1})-({x2},{y2}) violates preferred direction "
                 f"of layer {layer} ({self.stack.direction(layer).value})"
             )
+        # Mutate first, log second: a drain that misses the record
+        # re-reads this demand later; the opposite order could hand out
+        # a cursor covering a mutation it never saw.
         if horizontal:
             lo, hi = sorted((x1, x2))
             self.wire_demand[layer][lo:hi, y1] += amount
+            if log:
+                self.dirty.append(("w", layer, lo, y1, hi - 1, y1))
         else:
             lo, hi = sorted((y1, y2))
             self.wire_demand[layer][x1, lo:hi] += amount
+            if log:
+                self.dirty.append(("w", layer, x1, lo, x1, hi - 1))
 
     def add_via_demand(
-        self, x: int, y: int, lo_layer: int, hi_layer: int, amount: float = 1.0
+        self,
+        x: int,
+        y: int,
+        lo_layer: int,
+        hi_layer: int,
+        amount: float = 1.0,
+        log: bool = True,
     ) -> None:
         """Add ``amount`` demand to the via stack from ``lo_layer`` to ``hi_layer``."""
         if not self.in_bounds(x, y):
@@ -118,6 +223,36 @@ class GridGraph:
         if lo_layer == hi_layer:
             return
         self.via_demand[lo_layer:hi_layer, x, y] += amount
+        if log:
+            self.dirty.append(("v", x, y, x, y))
+
+    def log_demand_rects(
+        self,
+        wire_rects: Dict[int, Tuple[int, int, int, int]],
+        via_rect: Optional[Tuple[int, int, int, int]] = None,
+    ) -> None:
+        """Append merged dirty records (one per layer, one for vias).
+
+        ``wire_rects`` maps a layer to the bounding edge rect of its
+        mutations (wire-array coordinates); ``via_rect`` is the G-cell
+        bounding rect of the touched via pillars.  Callers must have
+        finished the demand writes before logging.
+        """
+        records: List[DirtyRecord] = [
+            ("w", layer, *rect) for layer, rect in wire_rects.items()
+        ]
+        if via_rect is not None:
+            records.append(("v", *via_rect))
+        self.dirty.extend(records)
+
+    def mark_all_demand_dirty(self) -> None:
+        """Record that demand changed everywhere (bulk array writes).
+
+        Call this after mutating ``wire_demand``/``via_demand`` arrays
+        directly (benchmark set-ups, tests) when an incremental
+        :class:`~repro.grid.cost.CostQuery` subscribes to this graph.
+        """
+        self.dirty.append(DirtyLog.ALL)
 
     # ------------------------------------------------------------------ #
     # Overflow metrics
@@ -182,6 +317,7 @@ class GridGraph:
         for layer in range(self.n_layers):
             np.copyto(self.wire_demand[layer], wire[layer])
         np.copyto(self.via_demand, via)
+        self.dirty.append(DirtyLog.ALL)
 
     def __repr__(self) -> str:
         return (

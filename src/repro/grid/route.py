@@ -10,7 +10,7 @@ the quality score (Eq. 15).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.grid.graph import GridGraph
 from repro.utils.unionfind import UnionFind
@@ -135,11 +135,45 @@ class Route:
     # Demand bookkeeping
     # ------------------------------------------------------------------ #
     def commit(self, graph: GridGraph, amount: float = 1.0) -> None:
-        """Add this route's demand to ``graph`` (negative = rip-up)."""
-        for w in self.wires:
-            graph.add_wire_demand(w.layer, w.x1, w.y1, w.x2, w.y2, amount)
-        for v in self.vias:
-            graph.add_via_demand(v.x, v.y, v.lo, v.hi, amount)
+        """Add this route's demand to ``graph`` (negative = rip-up).
+
+        Dirty marking is coalesced: instead of one log record per
+        segment, the route logs one merged edge rect per touched layer
+        plus one via rect — O(layers) records per commit keeps the log
+        (and incremental drains) small.
+        """
+        wire_rects: Dict[int, Tuple[int, int, int, int]] = {}
+        via_rect: Optional[Tuple[int, int, int, int]] = None
+        try:
+            for w in self.wires:
+                graph.add_wire_demand(
+                    w.layer, w.x1, w.y1, w.x2, w.y2, amount, log=False
+                )
+                # Edge rect of the segment in wire-array coordinates
+                # (segment endpoints are normalised, so x1<=x2, y1<=y2).
+                if w.is_horizontal:
+                    rect = (w.x1, w.y1, w.x2 - 1, w.y2)
+                else:
+                    rect = (w.x1, w.y1, w.x2, w.y2 - 1)
+                prev = wire_rects.get(w.layer)
+                wire_rects[w.layer] = rect if prev is None else (
+                    min(prev[0], rect[0]),
+                    min(prev[1], rect[1]),
+                    max(prev[2], rect[2]),
+                    max(prev[3], rect[3]),
+                )
+            for v in self.vias:
+                graph.add_via_demand(v.x, v.y, v.lo, v.hi, amount, log=False)
+                via_rect = (v.x, v.y, v.x, v.y) if via_rect is None else (
+                    min(via_rect[0], v.x),
+                    min(via_rect[1], v.y),
+                    max(via_rect[2], v.x),
+                    max(via_rect[3], v.y),
+                )
+        finally:
+            # Log even on a partial failure: whatever demand did land
+            # must be covered by a record before anyone drains.
+            graph.log_demand_rects(wire_rects, via_rect)
 
     def uncommit(self, graph: GridGraph, amount: float = 1.0) -> None:
         """Remove this route's demand from ``graph`` (rip-up)."""

@@ -31,13 +31,19 @@ def make_maze_router(
     margin: int = 6,
     backend: str = "numpy",
     device=None,
+    cost_engine: str = "full",
 ) -> MazeRouter:
     """Instantiate the maze engine registered under ``engine``."""
     if engine == "dijkstra":
-        return MazeRouter(graph, cost_model, margin=margin)
+        return MazeRouter(graph, cost_model, margin=margin, cost_engine=cost_engine)
     if engine == "wavefront":
         return WavefrontMazeRouter(
-            graph, cost_model, margin=margin, backend=backend, device=device
+            graph,
+            cost_model,
+            margin=margin,
+            backend=backend,
+            device=device,
+            cost_engine=cost_engine,
         )
     raise ValueError(
         f"unknown maze engine {engine!r}; available: {', '.join(MAZE_ENGINES)}"

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.grid.cost import CostModel
+from repro.grid.cost import CostEngineStats, CostModel
 from repro.grid.graph import GridGraph
 from repro.grid.route import Route
 from repro.maze.router import MazeRouter, MazeRoutingError
@@ -113,16 +113,21 @@ class RipupReroute:
         engine: str = "dijkstra",
         backend: str = "numpy",
         device=None,
+        cost_engine: str = "full",
     ) -> None:
         self.graph = graph
         self.nets = netlist_by_name
         self.cost_model = cost_model or CostModel()
         self.margin = margin
         self.engine_name = engine
+        self.cost_engine = cost_engine
         self._backend = backend
         self._device = device
         self._local = threading.local()
         self._visited_lock = threading.Lock()
+        # Every thread-local router ever created, so cost-engine stats
+        # can be aggregated across workers after an iteration.
+        self._routers: List[MazeRouter] = []
         #: Total nodes settled/relaxed by maze searches so far (all
         #: worker threads; monotone — snapshot before/after an
         #: iteration to attribute counts per iteration).
@@ -150,9 +155,25 @@ class RipupReroute:
                 margin=self.margin,
                 backend=self._backend,
                 device=self._device,
+                cost_engine=self.cost_engine,
             )
             self._local.maze = maze
+            with self._visited_lock:
+                self._routers.append(maze)
         return maze
+
+    def cost_engine_stats(self) -> "CostEngineStats":
+        """Aggregate cost-engine counters over every worker's router.
+
+        Monotone like :attr:`nodes_visited` — snapshot before/after an
+        iteration and diff to attribute work per iteration.
+        """
+        total = CostEngineStats()
+        with self._visited_lock:
+            routers = list(self._routers)
+        for router in routers:
+            total.add(router.query.stats)
+        return total
 
     def rip_and_reroute(
         self, routes: Dict[str, Route], name: str

@@ -48,10 +48,11 @@ class MazeRouter:
         cost_model: Optional[CostModel] = None,
         margin: int = 6,
         query: Optional[CostQuery] = None,
+        cost_engine: str = "full",
     ) -> None:
         self.graph = graph
         self.cost_model = cost_model or CostModel()
-        self.query = query or CostQuery(graph, self.cost_model)
+        self.query = query or CostQuery(graph, self.cost_model, engine=cost_engine)
         self.margin = margin
         # Search scratch (dist/parent/done), grown to the largest region
         # seen and reused across splice searches *and* route_net calls:
@@ -72,12 +73,15 @@ class MazeRouter:
         the cost snapshot is refreshed first so the search sees the
         demand left by previously rerouted nets.
         """
-        if rebuild:
-            self.query.rebuild()
         pins = sorted({pin.as_node() for pin in net.pins})
+        region = self._region(net)
+        if rebuild:
+            # The incremental engine refreshes only dirty regions that
+            # intersect this net's search window; the rest stay pending
+            # (and guarded) for whichever net's window reaches them.
+            self.query.rebuild(window=region)
         if len(pins) == 1:
             return Route()
-        region = self._region(net)
         # Costs are frozen per net: build the region cost tables once
         # and share them across the per-pin splice searches.
         tables = self._build_tables(region)

@@ -64,6 +64,7 @@ class BatchPatternRouter:
         edge_shift: bool = True,
         max_chunk_elements: int = 150_000,
         backend: Union[str, ArrayBackend] = "numpy",
+        cost_engine: str = "full",
     ) -> None:
         self.graph = graph
         self.cost_model = cost_model or CostModel()
@@ -71,7 +72,9 @@ class BatchPatternRouter:
         base = get_backend(backend) if isinstance(backend, str) else backend
         self.backend_name = base.name
         self.backend = self.device.wrap(base)
-        self.query = CostQuery(graph, self.cost_model, backend=self.backend)
+        self.query = CostQuery(
+            graph, self.cost_model, backend=self.backend, engine=cost_engine
+        )
         self.arena = arena or ZeroCopyArena()
         self.edge_shift = edge_shift
         self.max_chunk_elements = max_chunk_elements
@@ -103,7 +106,7 @@ class BatchPatternRouter:
         predecessors committed, bit for bit.
         """
         self.query.rebuild(boxes=cost_boxes, reference=cost_reference)
-        self._account_cost_upload(cost_boxes)
+        self._account_cost_upload()
         jobs = [self.make_job(net) for net in nets]
         self.route_jobs(jobs, mode_fn)
         routes: Dict[str, Route] = {}
@@ -237,31 +240,15 @@ class BatchPatternRouter:
     # ------------------------------------------------------------------ #
     # Transfer accounting
     # ------------------------------------------------------------------ #
-    def _account_cost_upload(self, cost_boxes=None) -> None:
+    def _account_cost_upload(self) -> None:
         """Record the cost-snapshot upload the device reads per batch.
 
-        A masked rebuild only refreshes the edges inside the batch's
-        boxes, so only those bytes cross the bus (the zero-copy arena
-        streams deltas, not whole tables).
+        The engine reports the deduplicated byte count of the edges the
+        last rebuild actually rewrote (a masked rebuild only refreshes
+        the batch's boxes; overlapping boxes are counted once), so the
+        zero-copy arena accounts exactly what crosses the bus.
         """
-        n_bytes = 0
-        if cost_boxes is None:
-            for layer in range(self.graph.n_layers):
-                n_bytes += self.query.wire_cost[layer].nbytes
-            n_bytes += self.query.via_cost.nbytes
-        else:
-            itemsize = self.query.via_cost.itemsize
-            n_vias = max(self.graph.n_layers - 1, 0)
-            for box in cost_boxes:
-                width = box.xhi - box.xlo + 1
-                height = box.yhi - box.ylo + 1
-                for layer in range(self.graph.n_layers):
-                    if self.graph.stack.is_horizontal(layer):
-                        n_bytes += max(width - 1, 0) * height * itemsize
-                    else:
-                        n_bytes += width * max(height - 1, 0) * itemsize
-                n_bytes += n_vias * width * height * itemsize
-        self.arena.send(n_bytes)
+        self.arena.send(self.query.last_upload_bytes)
 
 
 __all__ = ["BatchPatternRouter"]
