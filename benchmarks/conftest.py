@@ -9,7 +9,10 @@ figure of the paper.  This conftest provides:
 * ``register_table(name, text)`` — collects rendered tables, writes
   them to ``benchmarks/results/<name>.txt`` and prints them after the
   pytest run (past output capture), so ``bench_output.txt`` contains
-  every reproduced table;
+  every reproduced table; every call also emits a machine-readable
+  ``BENCH_<name>.json`` record (name, config key, metrics, timestamp)
+  next to the ``.txt``, and scheduler records are aggregated into
+  ``BENCH_scheduler.json`` at the end of the run;
 * ``BENCH_SCALE`` — suite scale factor, settable via the
   ``REPRO_BENCH_SCALE`` environment variable (default 0.25: the whole
   harness completes in minutes on a laptop; raise it to approach the
@@ -18,9 +21,11 @@ figure of the paper.  This conftest provides:
 
 from __future__ import annotations
 
+import json
 import os
+from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import RouterConfig
 from repro.core.result import RoutingResult
@@ -32,26 +37,59 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 RESULTS_DIR = Path(__file__).parent / "results"
 
 _TABLES: List[Tuple[str, str]] = []
+_RECORDS: List[dict] = []
 _RUN_CACHE: Dict[Tuple[str, str], RoutingResult] = {}
 _DESIGN_CACHE: Dict[Tuple[str, str], Design] = {}
 
 
-def register_table(name: str, text: str) -> None:
-    """Record a rendered table for the end-of-run report."""
+def register_table(
+    name: str,
+    text: str,
+    *,
+    config: "Optional[RouterConfig | str]" = None,
+    metrics: Optional[dict] = None,
+) -> None:
+    """Record a rendered table for the end-of-run report.
+
+    Besides the human-readable ``<name>.txt``, every registration also
+    writes a machine-readable ``BENCH_<name>.json`` record so CI and
+    regression tooling can diff benchmark runs without parsing tables.
+    ``config`` (a :class:`RouterConfig` or a pre-built key string) and
+    ``metrics`` (a flat dict of numbers) enrich the record when the
+    bench has a single primary configuration / headline numbers.
+    """
     _TABLES.append((name, text))
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    record = {
+        "name": name,
+        "config_key": (
+            config_key(config) if isinstance(config, RouterConfig) else config
+        ),
+        "metrics": dict(metrics) if metrics else {},
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    _RECORDS.append(record)
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def config_key(config: RouterConfig) -> str:
-    """A cache key describing everything that changes routing results."""
+    """A cache key describing everything that changes routing results.
+
+    ``n_workers`` is part of the key: results are bit-identical across
+    worker counts, but runtimes (what the benches measure) are not —
+    two sweep points differing only in workers must not share a cached
+    run.
+    """
     return (
         f"{config.name}|{config.pattern_engine}|{config.pattern_shape}|"
         f"{config.use_selection}|{config.t1}|{config.t2}|"
         f"{config.sorting_scheme}|{config.rrr_sorting_scheme}|"
         f"{config.n_rrr_iterations}|{config.rrr_parallel}|{config.edge_shift}|"
-        f"{config.executor}|{config.max_batch_tasks}|{config.backend}|"
-        f"{config.maze_engine}|{config.cost_engine}"
+        f"{config.executor}|{config.n_workers}|{config.max_batch_tasks}|"
+        f"{config.backend}|{config.maze_engine}|{config.cost_engine}"
     )
 
 
@@ -90,7 +128,24 @@ def geomean(values) -> float:
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    """Print every registered table after capture is released."""
+    """Print every registered table after capture is released.
+
+    Also aggregates every ``scheduler*`` record of this run into the
+    top-level ``BENCH_scheduler.json`` — the one file scheduler CI
+    checks watch.
+    """
+    scheduler = [r for r in _RECORDS if r["name"].startswith("scheduler")]
+    if scheduler:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_scheduler.json").write_text(
+            json.dumps(
+                {"name": "scheduler", "records": scheduler},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
     for name, text in _TABLES:
         terminalreporter.write_line("")
         terminalreporter.write_line(f"==== {name} ====")

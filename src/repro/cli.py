@@ -59,6 +59,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         overrides["backend"] = args.backend
     if args.executor is not None:
         overrides["executor"] = args.executor
+    if args.workers is not None:
+        overrides["n_workers"] = args.workers
     if args.maze_engine is not None:
         overrides["maze_engine"] = args.maze_engine
     if args.cost_engine is not None:
@@ -164,9 +166,16 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument(
         "--executor", choices=EXECUTION_POLICIES, default=None,
         help="execution policy of the scheduled-stage pipeline: "
-        "'threaded' drains the task graph on a worker pool, 'ordered' "
-        "runs the deterministic topological order; results are "
-        "bit-identical (default: the preset's choice)",
+        "'threaded' drains the task graph on a worker pool, 'processes' "
+        "shards tasks across worker processes with shared-memory cost "
+        "grids, 'ordered' runs the deterministic topological order; "
+        "results are bit-identical (default: the preset's choice)",
+    )
+    route.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for the threaded/processes executor "
+        "(processes additionally clamps to the available CPUs; "
+        "default: the preset's choice)",
     )
     route.add_argument(
         "--maze-engine", choices=MAZE_ENGINES, default=None,

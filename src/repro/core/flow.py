@@ -22,13 +22,16 @@ policy reproduces the ``ordered`` policy bit for bit.
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import RouterConfig
 from repro.core.result import IterationStats
 from repro.core.selection import make_mode_selector
 from repro.grid.geometry import Rect
+from repro.grid.graph import GridGraph
 from repro.grid.route import Route
 from repro.gpu.device import Device
 from repro.gpu.zerocopy import ZeroCopyArena
@@ -38,8 +41,89 @@ from repro.netlist.net import Net
 from repro.pattern.batch import BatchPatternRouter
 from repro.pattern.cpu_reference import SequentialPatternRouter
 from repro.sched.batching import extract_batches
-from repro.sched.pipeline import ScheduledStage, StageReport, StageRunner
+from repro.sched.pipeline import (
+    ProcessStagePlan,
+    ScheduledStage,
+    StageReport,
+    StageRunner,
+)
 from repro.sched.sorting import sort_nets
+
+#: Per-process state of a pattern worker (set by the pool initializer).
+_PATTERN_WORKER: dict = {}
+
+
+def _pattern_worker_init(handle, nx, ny, stack, config: RouterConfig) -> None:
+    """Pool initializer: attach the shared grid + pinned cost reference."""
+    from repro.sched.shm import SharedArena
+
+    arena = SharedArena.attach(handle)
+    graph = GridGraph.attach_shared(nx, ny, stack, arena)
+    engine_cls = (
+        BatchPatternRouter
+        if config.pattern_engine == "batch"
+        else SequentialPatternRouter
+    )
+    engine = engine_cls(
+        graph,
+        config.cost_model,
+        device=Device(),
+        arena=ZeroCopyArena(),
+        edge_shift=config.edge_shift,
+        max_chunk_elements=config.max_chunk_elements,
+        backend=config.backend,
+        cost_engine=config.cost_engine,
+    )
+    # The stage-start cost reference lives in the arena too (read-only
+    # by convention): the masked rebuilds of every chunk pin against
+    # the exact same bits the parent snapshotted.  The view tuple is
+    # stable across tasks, so the incremental engine's same-reference
+    # identity check seeds its buffers only once per worker.
+    reference = (
+        [arena.view(f"ref/wire/{layer}") for layer in range(graph.n_layers)],
+        arena.view("ref/via"),
+    )
+    _PATTERN_WORKER["arena"] = arena
+    _PATTERN_WORKER["engine"] = engine
+    _PATTERN_WORKER["reference"] = reference
+    _PATTERN_WORKER["mode_fn"] = make_mode_selector(config, graph)
+
+
+def _pattern_worker_run(payload):
+    """Route one chunk against the shared demand; commit nothing.
+
+    Returns the ordered ``(name, route)`` pairs plus side-band
+    statistics (cost-engine counters, kernel launches, transfer bytes)
+    for the parent to fold.  Demand inside the chunk's boxes is exactly
+    what the conflicting predecessors' parent-side commits produced —
+    non-conflicting chunks never write inside these boxes — so the
+    masked DP sees bit-identical costs to an ordered run.
+    """
+    start = time.perf_counter()
+    nets, boxes = payload
+    engine = _PATTERN_WORKER["engine"]
+    stats_before = engine.query.stats.copy()
+    n_launches_before = len(engine.device.launches)
+    arena = engine.arena
+    sent_before = arena.bytes_to_device
+    received_before = arena.bytes_to_host
+    transfers_before = arena.n_transfers
+    routes = engine.route_batch(
+        nets,
+        _PATTERN_WORKER["mode_fn"],
+        cost_boxes=boxes,
+        cost_reference=_PATTERN_WORKER["reference"],
+        commit=False,
+    )
+    pairs = [(net.name, routes[net.name]) for net in nets]
+    stats_delta = engine.query.stats.delta(stats_before)
+    launches = engine.device.launches[n_launches_before:]
+    transfers = (
+        arena.bytes_to_device - sent_before,
+        arena.bytes_to_host - received_before,
+        arena.n_transfers - transfers_before,
+    )
+    return (time.perf_counter() - start, (pairs, stats_delta, launches, transfers))
 
 
 class PatternStage(ScheduledStage):
@@ -96,6 +180,10 @@ class PatternStage(ScheduledStage):
         # queue, so kernel launches are framed one task at a time.
         self._engine_lock = threading.Lock()
         self.routes: Dict[str, Route] = {}
+        self._graph = graph
+        self.config = config
+        self._arena = None
+        self._process_plan: Optional[ProcessStagePlan] = None
 
     def task_boxes(self) -> Sequence[Sequence[Rect]]:
         return self._boxes
@@ -118,6 +206,75 @@ class PatternStage(ScheduledStage):
 
     def commit_task(self, task: int, result: Dict[str, Route]) -> None:
         self.routes.update(result)
+
+    # ------------------------------------------------------------------ #
+    # "processes" policy
+    # ------------------------------------------------------------------ #
+    def process_plan(self, n_workers: int) -> Optional[ProcessStagePlan]:
+        """Share the grid + stage-start cost reference; build the pool.
+
+        Workers route chunks without committing; the parent commits
+        each chunk's routes in chunk order inside ``collect`` — the
+        run/commit seam the threaded policy already serializes.
+        """
+        if self._process_plan is None:
+            from repro.sched.executor import WorkerPool, resolve_worker_processes
+            from repro.sched.shm import SharedArena
+
+            graph = self._graph
+            exports = dict(graph.shared_exports())
+            ref_wire, ref_via = self.cost_reference
+            for layer, arr in enumerate(ref_wire):
+                exports[f"ref/wire/{layer}"] = arr
+            exports["ref/via"] = ref_via
+            self._arena = SharedArena.create(exports)
+            graph.adopt_shared(self._arena)
+            pool = WorkerPool(
+                resolve_worker_processes(n_workers),
+                _pattern_worker_run,
+                initializer=_pattern_worker_init,
+                initargs=(
+                    self._arena.handle, graph.nx, graph.ny, graph.stack,
+                    self.config,
+                ),
+            )
+            self._process_plan = ProcessStagePlan(
+                pool=pool,
+                payload=self._process_payload,
+                collect=self._process_collect,
+            )
+        return self._process_plan
+
+    def _process_payload(self, task: int):
+        return ([self.nets[i] for i in self.chunks[task]], self._boxes[task])
+
+    def _process_collect(self, task: int, raw) -> Dict[str, Route]:
+        """Commit one chunk's routes parent-side; fold worker stats."""
+        pairs, stats_delta, launches, transfers = raw
+        engine = self.engine
+        engine.query.stats.add(stats_delta)
+        if launches:
+            engine.device.launches.extend(launches)
+        sent, received, n_transfers = transfers
+        engine.arena.bytes_to_device += sent
+        engine.arena.bytes_to_host += received
+        engine.arena.n_transfers += n_transfers
+        routes: Dict[str, Route] = {}
+        for name, route in pairs:
+            route.commit(self._graph)
+            routes[name] = route
+        return routes
+
+    def teardown_processes(self) -> None:
+        """Release the worker pool and the shared arena (idempotent)."""
+        if self._process_plan is not None:
+            self._process_plan.pool.close()
+            self._process_plan = None
+        if self._arena is not None:
+            self._graph.detach_shared()
+            self._arena.close()
+            self._arena.unlink()
+            self._arena = None
 
 
 class RerouteStage(ScheduledStage):
@@ -143,6 +300,10 @@ class RerouteStage(ScheduledStage):
             for net in ordered_nets
         ]
         self.n_failed = 0
+        # Old routes of in-flight tasks (processes policy): uncommitted
+        # at dispatch, restored on failure or when the worker finds no
+        # path.
+        self._inflight: Dict[int, Route] = {}
 
     def task_boxes(self) -> Sequence[Sequence[Rect]]:
         return self._boxes
@@ -164,9 +325,64 @@ class RerouteStage(ScheduledStage):
         else:
             self.routes[self.ordered_nets[task].name] = result
 
+    # ------------------------------------------------------------------ #
+    # "processes" policy
+    # ------------------------------------------------------------------ #
+    def process_plan(self, n_workers: int) -> ProcessStagePlan:
+        """Run maze tasks on the engine's persistent worker pool.
+
+        The run/commit seam split across processes: the parent rips up
+        the old route before dispatch (``pre_dispatch``), the worker
+        searches the shared demand and returns a route candidate, and
+        the parent commits it (or restores the old route) in
+        ``collect`` — every demand mutation stays parent-side.
+        """
+        pool = self.engine.ensure_process_pool(n_workers)
+        self._inflight = {}
+        return ProcessStagePlan(
+            pool=pool,
+            payload=self._process_payload,
+            pre_dispatch=self._process_pre_dispatch,
+            collect=self._process_collect,
+            abort=self._process_abort,
+        )
+
+    def _process_payload(self, task: int) -> Net:
+        return self.ordered_nets[task]
+
+    def _process_pre_dispatch(self, task: int) -> None:
+        old = self.routes[self.ordered_nets[task].name]
+        self._inflight[task] = old
+        old.uncommit(self.engine.graph)
+
+    def _process_collect(self, task: int, raw) -> Optional[Route]:
+        route, visited, stats_delta, launches = raw
+        self.engine.fold_worker_result(visited, stats_delta, launches)
+        old = self._inflight.pop(task)
+        if route is None:
+            # No path in the search region: restore the old route (and
+            # its demand), count the failure — same as rip_and_reroute.
+            old.commit(self.engine.graph)
+            return None
+        route.commit(self.engine.graph)
+        return route
+
+    def _process_abort(self, task: int) -> None:
+        """Re-commit the old route of a task that never completed."""
+        old = self._inflight.pop(task, None)
+        if old is not None:
+            old.commit(self.engine.graph)
+
 
 def _make_runner(config: RouterConfig) -> StageRunner:
-    return StageRunner(policy=config.executor, n_workers=config.n_workers)
+    """Build the stage runner for ``config``.
+
+    The ``REPRO_FORCE_EXECUTOR`` environment variable overrides the
+    config's policy — the seam CI uses to run the whole test suite
+    under the ``processes`` policy without touching each test.
+    """
+    policy = os.environ.get("REPRO_FORCE_EXECUTOR") or config.executor
+    return StageRunner(policy=policy, n_workers=config.n_workers)
 
 
 def run_pattern_stage(
@@ -183,7 +399,10 @@ def run_pattern_stage(
     caller owns), the stage's cost-engine counters are written into it.
     """
     stage = PatternStage(design, config, device, arena)
-    report = _make_runner(config).run(stage)
+    try:
+        report = _make_runner(config).run(stage)
+    finally:
+        stage.teardown_processes()
     if cost_stats is not None:
         cost_stats.update(stage.engine.query.stats.as_dict())
     # Commit order is schedule-dependent under the threaded policy;
@@ -229,47 +448,52 @@ def run_rrr_stage(
     cached_key: Optional[Tuple[str, ...]] = None
     ordered_nets: List[Net] = []
     schedule = None
-    for iteration in range(config.n_rrr_iterations):
-        violating = find_violating_nets(routes, graph)
-        if initial_to_rip is None:
-            initial_to_rip = len(violating)
-        if not violating:
-            break
+    try:
+        for iteration in range(config.n_rrr_iterations):
+            violating = find_violating_nets(routes, graph)
+            if initial_to_rip is None:
+                initial_to_rip = len(violating)
+            if not violating:
+                break
 
-        # Sorting and conflict analysis depend only on *which* nets
-        # violate; reuse them across iterations with an identical set.
-        key = tuple(sorted(violating))
-        if key != cached_key:
-            ordered_nets = sort_nets(
-                [nets_by_name[name] for name in violating], rrr_scheme
-            )
-            schedule = runner.schedule(
-                RerouteStage(engine, routes, ordered_nets, config.maze_margin)
-            )
-            cached_key = key
+            # Sorting and conflict analysis depend only on *which* nets
+            # violate; reuse them across iterations with an identical set.
+            key = tuple(sorted(violating))
+            if key != cached_key:
+                ordered_nets = sort_nets(
+                    [nets_by_name[name] for name in violating], rrr_scheme
+                )
+                schedule = runner.schedule(
+                    RerouteStage(engine, routes, ordered_nets, config.maze_margin)
+                )
+                cached_key = key
 
-        stage = RerouteStage(engine, routes, ordered_nets, config.maze_margin)
-        visited_before = engine.nodes_visited
-        cost_before = engine.cost_engine_stats()
-        report = runner.run(stage, schedule=schedule)
-        cost_delta = engine.cost_engine_stats().delta(cost_before)
-        iterations.append(
-            IterationStats(
-                iteration=iteration,
-                n_ripped=report.n_tasks,
-                n_failed=stage.n_failed,
-                sequential_time=report.sequential_time,
-                taskgraph_makespan=report.taskgraph_makespan,
-                batch_makespan=report.batch_makespan,
-                makespan=report.makespan(config.rrr_parallel),
-                engine=engine.engine_name,
-                nodes_visited=engine.nodes_visited - visited_before,
-                cost_rebuilds=cost_delta.rebuilds,
-                cost_refreshed_edges=cost_delta.refreshed_edges,
-                cost_time=cost_delta.seconds,
-                report=report,
+            stage = RerouteStage(engine, routes, ordered_nets, config.maze_margin)
+            visited_before = engine.nodes_visited
+            cost_before = engine.cost_engine_stats()
+            report = runner.run(stage, schedule=schedule)
+            cost_delta = engine.cost_engine_stats().delta(cost_before)
+            iterations.append(
+                IterationStats(
+                    iteration=iteration,
+                    n_ripped=report.n_tasks,
+                    n_failed=stage.n_failed,
+                    sequential_time=report.sequential_time,
+                    taskgraph_makespan=report.taskgraph_makespan,
+                    batch_makespan=report.batch_makespan,
+                    makespan=report.makespan(config.rrr_parallel),
+                    engine=engine.engine_name,
+                    nodes_visited=engine.nodes_visited - visited_before,
+                    cost_rebuilds=cost_delta.rebuilds,
+                    cost_refreshed_edges=cost_delta.refreshed_edges,
+                    cost_time=cost_delta.seconds,
+                    report=report,
+                )
             )
-        )
+    finally:
+        # The pool and arena persist across iterations; always release
+        # them (and unlink the shared segment) on the way out.
+        engine.teardown_processes()
     if cost_stats is not None:
         cost_stats.update(engine.cost_engine_stats().as_dict())
     return (initial_to_rip or 0, iterations)

@@ -12,6 +12,12 @@ edge are rerouted.  Each iteration:
 (:meth:`~RipupReroute.rip_and_reroute`) the scheduled-stage pipeline
 executes; its maze router is thread-local so concurrent non-conflicting
 tasks each search against their own cost snapshot.
+
+Under the ``processes`` execution policy the engine instead owns a
+persistent worker pool and a shared-memory arena holding the graph's
+demand/capacity planes: workers attach the arena once, search against
+zero-copy views, and return route candidates; the parent serializes
+every uncommit/commit (see :func:`_maze_worker_run`).
 """
 
 from __future__ import annotations
@@ -30,6 +36,62 @@ from repro.maze.router import MazeRouter, MazeRoutingError
 from repro.netlist.net import Net
 
 OverflowMasks = Tuple[List[np.ndarray], np.ndarray]
+
+#: Per-process state of a maze worker (set once by the pool initializer).
+_MAZE_WORKER: dict = {}
+
+
+def _maze_worker_init(
+    handle, nx, ny, stack, cost_model, margin, engine, backend, cost_engine
+) -> None:
+    """Pool initializer: attach the shared grid, build this worker's router."""
+    from repro.gpu.device import Device
+    from repro.maze import make_maze_router
+    from repro.sched.shm import SharedArena
+
+    arena = SharedArena.attach(handle)
+    graph = GridGraph.attach_shared(nx, ny, stack, arena)
+    device = Device()
+    _MAZE_WORKER["arena"] = arena
+    _MAZE_WORKER["device"] = device
+    _MAZE_WORKER["maze"] = make_maze_router(
+        engine,
+        graph,
+        cost_model,
+        margin=margin,
+        backend=backend,
+        device=device,
+        cost_engine=cost_engine,
+    )
+
+
+def _maze_worker_run(net: Net):
+    """Route one ripped-up net against the shared demand.
+
+    The parent already uncommitted the old route (pre-dispatch), so the
+    shared demand is exactly what a single-process run would see.  The
+    worker's own dirty log has not seen the parent's writes — the
+    search window is force-refreshed from shared demand first
+    (``refresh_window``), which is O(window) and bit-identical to a
+    local rebuild at the same demand.  Nothing is committed here.
+    """
+    start = time.perf_counter()
+    maze: MazeRouter = _MAZE_WORKER["maze"]
+    device = _MAZE_WORKER["device"]
+    stats_before = maze.query.stats.copy()
+    n_launches_before = len(device.launches)
+    maze.query.refresh_window(maze._region(net))
+    try:
+        route = maze.route_net(net, rebuild=False)
+    except MazeRoutingError:
+        route = None
+    visited = maze.consume_visited()
+    stats_delta = maze.query.stats.delta(stats_before)
+    launches = device.launches[n_launches_before:]
+    return (
+        time.perf_counter() - start,
+        (route, visited, stats_delta, launches),
+    )
 
 
 def overflow_masks(graph: GridGraph) -> OverflowMasks:
@@ -132,6 +194,11 @@ class RipupReroute:
         #: worker threads; monotone — snapshot before/after an
         #: iteration to attribute counts per iteration).
         self.nodes_visited = 0
+        # --- "processes" policy state (see ensure_process_pool) ------- #
+        self._pool = None
+        self._arena = None
+        # Cost-engine counters folded back from worker processes.
+        self._pooled_stats = CostEngineStats()
 
     @property
     def maze(self) -> MazeRouter:
@@ -166,14 +233,76 @@ class RipupReroute:
         """Aggregate cost-engine counters over every worker's router.
 
         Monotone like :attr:`nodes_visited` — snapshot before/after an
-        iteration and diff to attribute work per iteration.
+        iteration and diff to attribute work per iteration.  Includes
+        counters folded back from worker processes.
         """
         total = CostEngineStats()
         with self._visited_lock:
             routers = list(self._routers)
         for router in routers:
             total.add(router.query.stats)
+        total.add(self._pooled_stats)
         return total
+
+    # ------------------------------------------------------------------ #
+    # "processes" policy: pool + arena lifecycle
+    # ------------------------------------------------------------------ #
+    def ensure_process_pool(self, n_workers: int):
+        """Create (once) and return the engine's maze worker pool.
+
+        The demand/capacity planes move into a shared-memory arena and
+        the graph adopts the arena's views, so every parent-side commit
+        is immediately visible to the attached workers.  The pool
+        persists across rip-up iterations; :meth:`teardown_processes`
+        releases both.
+        """
+        if self._pool is None:
+            from repro.sched.executor import WorkerPool, resolve_worker_processes
+            from repro.sched.shm import SharedArena
+
+            graph = self.graph
+            self._arena = SharedArena.create(graph.shared_exports())
+            graph.adopt_shared(self._arena)
+            self._pool = WorkerPool(
+                resolve_worker_processes(n_workers),
+                _maze_worker_run,
+                initializer=_maze_worker_init,
+                initargs=(
+                    self._arena.handle,
+                    graph.nx,
+                    graph.ny,
+                    graph.stack,
+                    self.cost_model,
+                    self.margin,
+                    self.engine_name,
+                    self._backend,
+                    self.cost_engine,
+                ),
+            )
+        return self._pool
+
+    def fold_worker_result(self, visited: int, stats_delta, launches) -> None:
+        """Fold one worker task's side-band statistics into the engine."""
+        self.nodes_visited += visited
+        self._pooled_stats.add(stats_delta)
+        if self._device is not None and launches:
+            self._device.launches.extend(launches)
+
+    def teardown_processes(self) -> None:
+        """Release the worker pool and the shared arena (idempotent).
+
+        The graph re-privatises its arrays first, so routing state
+        survives bit-identically; the arena is always unlinked — a
+        leaked segment would outlive the process.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._arena is not None:
+            self.graph.detach_shared()
+            self._arena.close()
+            self._arena.unlink()
+            self._arena = None
 
     def rip_and_reroute(
         self, routes: Dict[str, Route], name: str

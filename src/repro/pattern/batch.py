@@ -95,6 +95,7 @@ class BatchPatternRouter:
         mode_fn: ModeSelector,
         cost_boxes=None,
         cost_reference=None,
+        commit: bool = True,
     ) -> Dict[str, Route]:
         """Route a conflict-free batch; commit demand; return routes.
 
@@ -104,6 +105,10 @@ class BatchPatternRouter:
         :meth:`~repro.grid.cost.CostQuery.rebuild`.  The scheduler uses
         this so the batch's DP depends only on demand its conflicting
         predecessors committed, bit for bit.
+
+        With ``commit=False`` the routes are returned *without*
+        committing their demand — the ``processes`` policy routes in
+        workers and serializes all commits in the parent.
         """
         self.query.rebuild(boxes=cost_boxes, reference=cost_reference)
         self._account_cost_upload()
@@ -112,7 +117,8 @@ class BatchPatternRouter:
         routes: Dict[str, Route] = {}
         for job in jobs:
             route = reconstruct_route(job)
-            route.commit(self.graph)
+            if commit:
+                route.commit(self.graph)
             routes[job.net.name] = route
         return routes
 

@@ -1,0 +1,175 @@
+"""Shared-memory arenas for the ``processes`` execution policy.
+
+CPython's GIL caps the ``threaded`` policy at overlap, not speedup, for
+CPU-bound routing tasks.  The ``processes`` policy breaks that cap by
+running task bodies in worker *processes* — which means the hot
+read-mostly state (the grid graph's demand/capacity planes, the
+pattern stage's pinned cost reference) must be reachable from every
+worker without pickling whole grids per task.
+
+:class:`SharedArena` packs a set of named float64 NumPy arrays into one
+``multiprocessing.shared_memory`` block:
+
+* the parent :meth:`creates <SharedArena.create>` the arena (one copy of
+  each array into the block) and keeps routing against zero-copy views
+  of it, so every parent-side ``Route.commit`` lands directly in shared
+  memory;
+* workers :meth:`attach <SharedArena.attach>` by the picklable
+  :class:`ArenaHandle` (shipped once, through the pool initializer) and
+  read the same physical pages — tasks move net descriptions and route
+  candidates across the pipe, never arrays;
+* the parent owns the lifecycle: :meth:`close` drops the mapping,
+  :meth:`unlink` frees the segment.  Callers wrap runs in
+  ``try/finally`` so the arena is always unlinked even when a stage
+  fails — leaked segments outlive the process and eat ``/dev/shm``.
+
+Visibility does not need locks: a worker only reads regions after it
+receives the task message, and the parent finished every conflicting
+commit before sending it (the pipe is the happens-before edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+_ALIGN = 64  # cache-line align each array inside the block
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable description of a :class:`SharedArena`.
+
+    ``manifest`` maps each array name to ``(offset, shape, dtype_str)``
+    inside the block.  Workers rebuild zero-copy views from this alone.
+    """
+
+    name: str
+    manifest: Tuple[Tuple[str, int, Tuple[int, ...], str], ...]
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without registering it for cleanup.
+
+    An attaching process does not own the segment; letting its resource
+    tracker register it would double-count the owner's registration and
+    unlink the segment behind the owner's back.  Python 3.13 grew a
+    ``track=False`` parameter; on older runtimes the workaround is
+    suppressing registration around the attach.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+    except Exception:  # pragma: no cover - tracker internals moved
+        return shared_memory.SharedMemory(name=name)
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArena:
+    """One shared-memory block holding named float64 ndarrays."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: Tuple[Tuple[str, int, Tuple[int, ...], str], ...],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._manifest = manifest
+        self._owner = owner
+        self._views: Dict[str, np.ndarray] = {}
+        self._unlinked = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArena":
+        """Allocate a block sized for ``arrays`` and copy them in."""
+        manifest = []
+        offset = 0
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = -(-offset // _ALIGN) * _ALIGN
+            manifest.append((key, offset, tuple(arr.shape), str(arr.dtype)))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        arena = cls(shm, tuple(manifest), owner=True)
+        for key, arr in arrays.items():
+            np.copyto(arena.view(key), arr)
+        return arena
+
+    @classmethod
+    def attach(cls, handle: ArenaHandle) -> "SharedArena":
+        """Map an existing arena by its handle (worker side)."""
+        return cls(_attach_untracked(handle.name), handle.manifest, owner=False)
+
+    @property
+    def handle(self) -> ArenaHandle:
+        """The picklable handle workers attach with."""
+        return ArenaHandle(name=self._shm.name, manifest=self._manifest)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def view(self, key: str) -> np.ndarray:
+        """Return the zero-copy ndarray view of array ``key``."""
+        cached = self._views.get(key)
+        if cached is not None:
+            return cached
+        for name, offset, shape, dtype in self._manifest:
+            if name == key:
+                arr = np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=self._shm.buf,
+                    offset=offset,
+                )
+                self._views[key] = arr
+                return arr
+        raise KeyError(f"no array {key!r} in arena {self._shm.name}")
+
+    def keys(self) -> Tuple[str, ...]:
+        """Names of the arrays the arena holds."""
+        return tuple(name for name, _, _, _ in self._manifest)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self._views.clear()
+        try:
+            self._shm.close()
+        except BufferError:
+            # A view is still referenced somewhere; the mapping then
+            # lives until the process exits.  unlink() still frees the
+            # *name*, so nothing leaks past process lifetime.
+            pass
+
+    def unlink(self) -> None:
+        """Free the segment (owner side; idempotent)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already gone
+            pass
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+
+__all__ = ["ArenaHandle", "SharedArena"]

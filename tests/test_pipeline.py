@@ -302,7 +302,7 @@ SUITE = [("18test5", 0.1), ("19test7m", 0.12)]
 
 @pytest.mark.parametrize("preset", PRESETS, ids=lambda p: p.__name__)
 class TestStageEquivalence:
-    """`threaded` and `ordered` must be bit-identical on every preset."""
+    """Every execution policy must be bit-identical on every preset."""
 
     @pytest.mark.parametrize("name,scale", SUITE, ids=lambda v: str(v))
     def test_suite_designs(self, preset, name, scale):
@@ -312,6 +312,7 @@ class TestStageEquivalence:
             result = GlobalRouter(design, preset(executor=policy)).run()
             runs[policy] = (design, result)
         assert_identical_results(*runs["ordered"], *runs["threaded"])
+        assert_identical_results(*runs["ordered"], *runs["processes"])
 
     def test_congested_design(self, preset):
         runs = {}
@@ -322,6 +323,117 @@ class TestStageEquivalence:
         # Congested: several RRR iterations actually execute.
         assert runs["ordered"][1].nets_to_ripup > 0
         assert_identical_results(*runs["ordered"], *runs["threaded"])
+        assert_identical_results(*runs["ordered"], *runs["processes"])
+
+
+@pytest.mark.parametrize("backend", ["numpy", "python"])
+def test_processes_policy_backend_parity(backend):
+    """processes == ordered bit for bit on every array backend."""
+    runs = {}
+    for policy in ("ordered", "processes"):
+        design = small_design()
+        config = RouterConfig.fastgr_l(
+            executor=policy, backend=backend, n_workers=2
+        )
+        result = GlobalRouter(design, config).run()
+        runs[policy] = (design, result)
+    assert_identical_results(*runs["ordered"], *runs["processes"])
+
+
+class TestProcessesPolicy:
+    """Lifecycle guarantees specific to the processes execution policy."""
+
+    def _spy_created_arenas(self, monkeypatch):
+        from repro.sched import shm
+
+        created = []
+        original = shm.SharedArena.create.__func__
+
+        def spy(cls, arrays):
+            arena = original(cls, arrays)
+            created.append(arena)
+            return arena
+
+        monkeypatch.setattr(shm.SharedArena, "create", classmethod(spy))
+        return created
+
+    def test_arena_unlinked_after_clean_run(self, monkeypatch):
+        created = self._spy_created_arenas(monkeypatch)
+        design = small_design()
+        config = RouterConfig.fastgr_l(executor="processes", n_workers=2)
+        GlobalRouter(design, config).run()
+        # Both stages created an arena; every one was unlinked.
+        assert len(created) >= 2
+        assert all(arena._unlinked for arena in created)
+
+    def test_arena_unlinked_when_stage_fails(self, monkeypatch):
+        from repro.core import flow
+
+        created = self._spy_created_arenas(monkeypatch)
+
+        def exploding_collect(self, task, raw):
+            raise RuntimeError("collect boom")
+
+        monkeypatch.setattr(
+            flow.PatternStage, "_process_collect", exploding_collect
+        )
+        config = RouterConfig.fastgr_l(executor="processes", n_workers=2)
+        with pytest.raises(RuntimeError, match="collect boom"):
+            run_pattern_stage(small_design(), config, Device(), ZeroCopyArena())
+        assert created
+        assert all(arena._unlinked for arena in created)
+        # The failing stage re-privatised the graph: a handle attach
+        # must fail because the segment is gone, not linger leaked.
+        from repro.sched.shm import SharedArena
+
+        for arena in created:
+            with pytest.raises(FileNotFoundError):
+                SharedArena.attach(arena.handle)
+
+    def test_worker_crash_surfaces_task_identity(self, monkeypatch):
+        from repro.maze import ripup
+
+        monkeypatch.setattr(
+            ripup, "_maze_worker_run", _crashing_maze_worker
+        )
+        design = small_design()
+        config = RouterConfig.fastgr_l(executor="processes", n_workers=2)
+        with pytest.raises(RuntimeError, match=r"worker task \d+"):
+            GlobalRouter(design, config).run()
+
+    def test_cost_snapshot_consistent_after_processes_run(self):
+        """The graph the processes run leaves behind is epoch-clean:
+        an incremental cost engine built on it agrees with the full
+        oracle, and keeps agreeing across a commit/uncommit cycle."""
+        from repro.grid.cost import CostModel, CostQuery
+
+        design = small_design()
+        config = RouterConfig.fastgr_l(executor="processes", n_workers=2)
+        result = GlobalRouter(design, config).run()
+        graph = design.graph
+        model = CostModel()
+        full = CostQuery(graph, model, engine="full")
+        incremental = CostQuery(graph, model, engine="incremental")
+
+        def assert_same_tables():
+            for layer in range(graph.n_layers):
+                assert np.array_equal(
+                    full.wire_cost[layer], incremental.wire_cost[layer]
+                )
+            assert np.array_equal(full.via_cost, incremental.via_cost)
+
+        assert_same_tables()
+        # Mutate through the dirty log exactly like a later RRR pass.
+        some_route = next(iter(result.routes.values()))
+        some_route.uncommit(graph)
+        some_route.commit(graph)
+        full.rebuild()
+        incremental.rebuild()
+        assert_same_tables()
+
+
+def _crashing_maze_worker(net):
+    raise ValueError(f"maze worker crashed on {net.name}")
 
 
 class TestPatternChainFreedom:

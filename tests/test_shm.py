@@ -1,0 +1,92 @@
+"""Tests for the shared-memory arena behind the processes policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sched.shm import ArenaHandle, SharedArena
+
+
+def sample_arrays():
+    return {
+        "wire/0": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "wire/1": np.full((2, 5), 7.0),
+        "via": np.zeros((2, 3, 4)),
+    }
+
+
+class TestSharedArena:
+    def test_create_roundtrips_contents(self):
+        arrays = sample_arrays()
+        with SharedArena.create(arrays) as arena:
+            assert set(arena.keys()) == set(arrays)
+            for key, arr in arrays.items():
+                view = arena.view(key)
+                assert view.shape == arr.shape
+                assert view.dtype == arr.dtype
+                assert np.array_equal(view, arr)
+
+    def test_views_are_aliases_not_copies(self):
+        with SharedArena.create(sample_arrays()) as arena:
+            first = arena.view("wire/0")
+            first[1, 2] = 99.0
+            assert arena.view("wire/0")[1, 2] == 99.0  # cached, same buffer
+
+    def test_unknown_key_raises(self):
+        with SharedArena.create(sample_arrays()) as arena:
+            with pytest.raises(KeyError, match="nope"):
+                arena.view("nope")
+
+    def test_handle_is_picklable(self):
+        import pickle
+
+        with SharedArena.create(sample_arrays()) as arena:
+            handle = pickle.loads(pickle.dumps(arena.handle))
+            assert isinstance(handle, ArenaHandle)
+            assert handle.name == arena.handle.name
+            assert handle.manifest == arena.handle.manifest
+
+    def test_attach_sees_parent_writes(self):
+        owner = SharedArena.create(sample_arrays())
+        try:
+            attached = SharedArena.attach(owner.handle)
+            try:
+                owner.view("wire/1")[0, 0] = 42.0
+                assert attached.view("wire/1")[0, 0] == 42.0
+                attached.view("via")[1, 2, 3] = -5.0
+                assert owner.view("via")[1, 2, 3] == -5.0
+            finally:
+                attached.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_unlink_frees_the_name(self):
+        owner = SharedArena.create(sample_arrays())
+        handle = owner.handle
+        owner.close()
+        owner.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedArena.attach(handle)
+
+    def test_unlink_is_idempotent(self):
+        owner = SharedArena.create(sample_arrays())
+        owner.close()
+        owner.unlink()
+        owner.unlink()  # second call must not raise
+
+    def test_context_manager_unlinks_owner(self):
+        with SharedArena.create(sample_arrays()) as arena:
+            handle = arena.handle
+        with pytest.raises(FileNotFoundError):
+            SharedArena.attach(handle)
+
+    def test_empty_arena(self):
+        with SharedArena.create({}) as arena:
+            assert arena.keys() == ()
+
+    def test_arrays_are_cacheline_aligned(self):
+        with SharedArena.create(sample_arrays()) as arena:
+            for _, offset, _, _ in arena.handle.manifest:
+                assert offset % 64 == 0
