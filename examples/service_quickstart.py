@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Quickstart: the routing job service and its HTTP front end.
+
+Starts an in-process :class:`repro.service.RoutingAPIServer` on an
+ephemeral port, then drives it exactly like a remote client would —
+with plain HTTP and JSON, no repro imports on the client side:
+
+1. submit a routing job (``POST /jobs``) and poll it to completion;
+2. submit an ECO job against the now-warm session
+   (``POST /jobs/<id>/eco``) with ``verify=True``, so the service
+   cold-routes the edited design and asserts the warm replay is
+   bit-identical;
+3. print both results and the warm-vs-cold reuse statistics.
+
+Usage::
+
+    python examples/service_quickstart.py [design] [scale]
+
+    design  benchmark name (default 18test5)
+    scale   suite scale factor (default 0.1)
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+
+from repro.service import JobService, RoutingAPIServer
+
+
+def get(url: str):
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read())
+
+
+def post(url: str, body: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def wait_done(base: str, job_id: str, timeout: float = 600.0) -> dict:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        snapshot = get(f"{base}/jobs/{job_id}")
+        if snapshot["state"] == "failed":
+            raise RuntimeError(snapshot["error"])
+        if snapshot["state"] == "done":
+            return snapshot
+        time.sleep(0.1)
+    raise TimeoutError(job_id)
+
+
+def main() -> None:
+    design = sys.argv[1] if len(sys.argv) > 1 else "18test5"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+
+    with RoutingAPIServer(port=0, service=JobService()) as server:
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        print(f"service up at {base}")
+        print(f"health: {get(f'{base}/health')}")
+
+        accepted = post(
+            f"{base}/jobs",
+            {"design": design, "scale": scale, "config": "fastgr_l"},
+        )
+        job_id = accepted["job_id"]
+        print(f"\nsubmitted route job {job_id} ({design} @ {scale})")
+        wait_done(base, job_id)
+        result = get(f"{base}/jobs/{job_id}/result")
+        print(f"route score      : {result['score']:,.1f}")
+        print(f"route wall time  : {result['total_time']:.3f} s")
+
+        accepted = post(
+            f"{base}/jobs/{job_id}/eco",
+            {"preset": "tiny", "eco_seed": 1, "verify": True},
+        )
+        eco_id = accepted["job_id"]
+        print(f"\nsubmitted ECO job {eco_id} (preset tiny, verified)")
+        wait_done(base, eco_id)
+        eco = get(f"{base}/jobs/{eco_id}/result")
+        stats = eco["eco"]
+        n_edits = stats["n_removed"] + stats["n_added"] + stats["n_moved"]
+        print(f"eco score        : {eco['score']:,.1f}")
+        print(f"edits applied    : {n_edits}")
+        print(f"tasks replayed   : {stats['cache_hits']} "
+              f"({stats['reuse_fraction']:.0%} of the netlist)")
+        print(f"tasks recomputed : {stats['cache_misses']}")
+        assert eco["verified"] is True
+        print("verified         : warm ECO bit-identical to cold re-route")
+
+        jobs = get(f"{base}/jobs")["jobs"]
+        print(f"\njobs processed   : {len(jobs)}")
+
+
+if __name__ == "__main__":
+    main()

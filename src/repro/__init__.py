@@ -23,10 +23,18 @@ from repro.grid.graph import GridGraph
 from repro.grid.layers import Direction, LayerStack
 from repro.grid.route import Route, ViaSegment, WireSegment
 from repro.netlist.benchmarks import benchmark_names, load_benchmark
+from repro.netlist.delta import NetlistDelta
 from repro.netlist.design import Design
-from repro.netlist.generator import DesignSpec, generate_design
+from repro.netlist.generator import (
+    ECO_PRESETS,
+    DesignSpec,
+    PerturbSpec,
+    generate_design,
+    perturb_design,
+)
 from repro.netlist.io import read_design, write_design
 from repro.netlist.net import Net, Netlist, Pin
+from repro.session import DesignHandle, EcoResult, RoutingSession, SessionStore
 
 __version__ = "1.0.0"
 
@@ -57,5 +65,13 @@ __all__ = [
     "Route",
     "WireSegment",
     "ViaSegment",
+    "NetlistDelta",
+    "PerturbSpec",
+    "ECO_PRESETS",
+    "perturb_design",
+    "DesignHandle",
+    "RoutingSession",
+    "EcoResult",
+    "SessionStore",
     "__version__",
 ]

@@ -1,15 +1,20 @@
 """Command-line interface.
 
-Three subcommands cover the everyday workflow::
+Five subcommands cover the everyday workflow::
 
     python -m repro route 18test5 --config fastgr_h --scale 0.25
     python -m repro route my_design.txt --config cugr
     python -m repro generate 18test10m --scale 0.5 -o my_design.txt
     python -m repro info my_design.txt
+    python -m repro eco 18test5 --scale 0.25 --eco-preset tiny --verify
+    python -m repro serve --port 8356
 
 ``route`` accepts either a benchmark name (Table III suite) or a path
 to a design file in the text format; it prints the paper's headline
-metrics and optionally writes the routed demand summary.
+metrics and optionally writes the routed demand summary.  ``eco``
+routes a design, applies a generated ECO perturbation to the warm
+session, and re-routes incrementally; ``serve`` runs the JSON routing
+service over warm sessions.
 """
 
 from __future__ import annotations
@@ -140,6 +145,52 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_eco(args: argparse.Namespace) -> int:
+    from repro.netlist.generator import ECO_PRESETS, perturb_design
+    from repro.session import DesignHandle, RoutingSession
+
+    design = _load(args.design, args.scale)
+    config = _PRESETS[args.config]()
+    handle = DesignHandle.from_design(design)
+    with RoutingSession(handle, config) as session:
+        base = session.run()
+        print(f"base route    : score {base.metrics.score:,.1f} "
+              f"({base.total_time:.3f} s)")
+        delta = perturb_design(
+            session.design, ECO_PRESETS[args.eco_preset], seed=args.eco_seed
+        )
+        eco = session.eco(delta)
+        print(f"eco delta     : -{eco.n_removed} +{eco.n_added} "
+              f"~{eco.n_moved} nets ({args.eco_preset!r}, "
+              f"seed {args.eco_seed})")
+        print(f"eco re-route  : score {eco.result.metrics.score:,.1f} "
+              f"({eco.elapsed:.3f} s)")
+        print(f"cache reuse   : {eco.cache_hits} hits / "
+              f"{eco.cache_misses} misses "
+              f"({eco.reuse_fraction:.0%} replayed)")
+        if args.verify:
+            from repro.service.jobs import demand_grids_equal
+
+            cold = session.cold_design()
+            cold_result = GlobalRouter(cold, config).run()
+            ok = (
+                demand_grids_equal(session.graph, cold.graph)
+                and eco.result.metrics.score == cold_result.metrics.score
+            )
+            print(f"verify        : cold route {cold_result.total_time:.3f} s, "
+                  f"{'bit-identical' if ok else 'MISMATCH'}")
+            if not ok:
+                return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import serve
+
+    serve(host=args.host, port=args.port, max_sessions=args.max_sessions)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -206,6 +257,35 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("design", help="benchmark name or design-file path")
     info.add_argument("--scale", type=float, default=0.25)
     info.set_defaults(func=_cmd_info)
+
+    from repro.netlist.generator import ECO_PRESETS
+
+    eco = sub.add_parser(
+        "eco", help="route, apply an ECO edit, and re-route incrementally"
+    )
+    eco.add_argument("design", help="benchmark name or design-file path")
+    eco.add_argument("--config", choices=sorted(_PRESETS), default="fastgr_l")
+    eco.add_argument("--scale", type=float, default=0.25,
+                     help="benchmark scale factor (default 0.25)")
+    eco.add_argument("--eco-preset", choices=sorted(ECO_PRESETS),
+                     default="tiny",
+                     help="generated perturbation size (default: tiny)")
+    eco.add_argument("--eco-seed", type=int, default=0,
+                     help="perturbation seed (default 0)")
+    eco.add_argument("--verify", action="store_true",
+                     help="also cold-route the edited design and assert "
+                     "the incremental result bit-identical")
+    eco.set_defaults(func=_cmd_eco)
+
+    serve = sub.add_parser(
+        "serve", help="run the JSON routing service over warm sessions"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8356)
+    serve.add_argument("--max-sessions", type=int, default=4, metavar="N",
+                       help="warm sessions kept before LRU eviction "
+                       "(default 4)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -53,27 +53,37 @@ from repro.sched.sorting import sort_nets
 _PATTERN_WORKER: dict = {}
 
 
+def make_pattern_engine(
+    graph: GridGraph,
+    config: RouterConfig,
+    device: Device,
+    arena: ZeroCopyArena,
+):
+    """Build the config's pattern engine over ``graph``."""
+    engine_cls = (
+        BatchPatternRouter
+        if config.pattern_engine == "batch"
+        else SequentialPatternRouter
+    )
+    return engine_cls(
+        graph,
+        config.cost_model,
+        device=device,
+        arena=arena,
+        edge_shift=config.edge_shift,
+        max_chunk_elements=config.max_chunk_elements,
+        backend=config.backend,
+        cost_engine=config.cost_engine,
+    )
+
+
 def _pattern_worker_init(handle, nx, ny, stack, config: RouterConfig) -> None:
     """Pool initializer: attach the shared grid + pinned cost reference."""
     from repro.sched.shm import SharedArena
 
     arena = SharedArena.attach(handle)
     graph = GridGraph.attach_shared(nx, ny, stack, arena)
-    engine_cls = (
-        BatchPatternRouter
-        if config.pattern_engine == "batch"
-        else SequentialPatternRouter
-    )
-    engine = engine_cls(
-        graph,
-        config.cost_model,
-        device=Device(),
-        arena=ZeroCopyArena(),
-        edge_shift=config.edge_shift,
-        max_chunk_elements=config.max_chunk_elements,
-        backend=config.backend,
-        cost_engine=config.cost_engine,
-    )
+    engine = make_pattern_engine(graph, config, Device(), ZeroCopyArena())
     # The stage-start cost reference lives in the arena too (read-only
     # by convention): the masked rebuilds of every chunk pin against
     # the exact same bits the parent snapshotted.  The view tuple is
@@ -137,6 +147,7 @@ class PatternStage(ScheduledStage):
         config: RouterConfig,
         device: Device,
         arena: ZeroCopyArena,
+        context=None,
     ) -> None:
         graph = design.graph
         self.nets = sort_nets(list(design.netlist), config.sorting_scheme)
@@ -154,21 +165,12 @@ class PatternStage(ScheduledStage):
         self._boxes = [[boxes[i] for i in chunk] for chunk in self.chunks]
         self.mode_fn = make_mode_selector(config, graph)
 
-        engine_cls = (
-            BatchPatternRouter
-            if config.pattern_engine == "batch"
-            else SequentialPatternRouter
-        )
-        self.engine = engine_cls(
-            graph,
-            config.cost_model,
-            device=device,
-            arena=arena,
-            edge_shift=config.edge_shift,
-            max_chunk_elements=config.max_chunk_elements,
-            backend=config.backend,
-            cost_engine=config.cost_engine,
-        )
+        self.engine = make_pattern_engine(graph, config, device, arena)
+        # Session context (optional): route/Steiner caches and the
+        # persistent worker runtime a warm session lends this stage.
+        self._context = context
+        if context is not None:
+            self.engine.steiner_cache = context.steiner_cache
         # Stage-start cost snapshot (zero demand): every chunk's masked
         # rebuild pins out-of-footprint costs to these arrays, so its DP
         # is bit-independent of whatever non-conflicting chunks did.
@@ -196,13 +198,57 @@ class PatternStage(ScheduledStage):
 
     def run_task(self, task: int) -> Dict[str, Route]:
         chunk_nets = [self.nets[i] for i in self.chunks[task]]
+        boxes = self._boxes[task]
+        if self._context is None:
+            with self._engine_lock:
+                return self.engine.route_batch(
+                    chunk_nets,
+                    self.mode_fn,
+                    cost_boxes=boxes,
+                    cost_reference=self.cost_reference,
+                )
+        # Content-addressed replay, *per net*: chunk-mates have disjoint
+        # boxes and a cost snapshot frozen at chunk start, so one net's
+        # DP output is a pure function of (net, box, demand in the
+        # box's incident-edge footprint) — independent of which chunk
+        # the batch extractor placed it in.  Keys are computed before
+        # any commit (the chunk-start demand a cold run would see);
+        # cached hits commit O(route), the rest route as a sub-batch
+        # masked to their own boxes.  Hit commits can't perturb the
+        # misses: a hit's route writes edges with both endpoints inside
+        # its own box, which a disjoint miss box's incident-edge window
+        # never contains.
+        from repro.session.cache import demand_signature, pattern_net_key
+
+        cache = self._context.cache
+        keys = [
+            pattern_net_key(net, box, demand_signature(self._graph, [box]))
+            for net, box in zip(chunk_nets, boxes)
+        ]
+        hits: List[Tuple[str, Route]] = []
+        missing: List[int] = []
+        for i, key in enumerate(keys):
+            found, route = cache.get(key)
+            if found:
+                hits.append((chunk_nets[i].name, route))
+            else:
+                missing.append(i)
+        routes: Dict[str, Route] = {}
         with self._engine_lock:
-            return self.engine.route_batch(
-                chunk_nets,
-                self.mode_fn,
-                cost_boxes=self._boxes[task],
-                cost_reference=self.cost_reference,
-            )
+            for name, route in hits:
+                route.commit(self._graph)
+                routes[name] = route
+            if missing:
+                fresh = self.engine.route_batch(
+                    [chunk_nets[i] for i in missing],
+                    self.mode_fn,
+                    cost_boxes=[boxes[i] for i in missing],
+                    cost_reference=self.cost_reference,
+                )
+                routes.update(fresh)
+                for i in missing:
+                    cache.put(keys[i], fresh[chunk_nets[i].name])
+        return routes
 
     def commit_task(self, task: int, result: Dict[str, Route]) -> None:
         self.routes.update(result)
@@ -217,6 +263,27 @@ class PatternStage(ScheduledStage):
         each chunk's routes in chunk order inside ``collect`` — the
         run/commit seam the threaded policy already serializes.
         """
+        if self._context is not None:
+            # Session runtime: ONE pool + arena shared with the maze
+            # stage, created on first use and owned by the session (the
+            # stage never tears it down).  Payloads are tagged so the
+            # combined pool dispatches to the right worker function.
+            if self._process_plan is None:
+                from repro.session.runtime import SessionRuntime
+
+                if self._context.runtime is None:
+                    self._context.runtime = SessionRuntime(
+                        self._graph,
+                        self.config,
+                        n_workers,
+                        cost_reference=self.cost_reference,
+                    )
+                self._process_plan = ProcessStagePlan(
+                    pool=self._context.runtime.pool,
+                    payload=self._runtime_payload,
+                    collect=self._process_collect,
+                )
+            return self._process_plan
         if self._process_plan is None:
             from repro.sched.executor import WorkerPool, resolve_worker_processes
             from repro.sched.shm import SharedArena
@@ -248,6 +315,9 @@ class PatternStage(ScheduledStage):
     def _process_payload(self, task: int):
         return ([self.nets[i] for i in self.chunks[task]], self._boxes[task])
 
+    def _runtime_payload(self, task: int):
+        return ("pattern", self._process_payload(task))
+
     def _process_collect(self, task: int, raw) -> Dict[str, Route]:
         """Commit one chunk's routes parent-side; fold worker stats."""
         pairs, stats_delta, launches, transfers = raw
@@ -266,7 +336,14 @@ class PatternStage(ScheduledStage):
         return routes
 
     def teardown_processes(self) -> None:
-        """Release the worker pool and the shared arena (idempotent)."""
+        """Release the worker pool and the shared arena (idempotent).
+
+        A session-owned runtime outlives the stage — the session closes
+        it; the stage only drops its plan reference.
+        """
+        if self._context is not None:
+            self._process_plan = None
+            return
         if self._process_plan is not None:
             self._process_plan.pool.close()
             self._process_plan = None
@@ -288,10 +365,12 @@ class RerouteStage(ScheduledStage):
         routes: Dict[str, Route],
         ordered_nets: List[Net],
         margin: int,
+        cache=None,
     ) -> None:
         self.engine = engine
         self.routes = routes
         self.ordered_nets = ordered_nets
+        self._cache = cache
         graph = engine.graph
         # The footprint is the maze *search region*, not just the
         # bounding box: everything the task reads or writes lives there.
@@ -315,9 +394,12 @@ class RerouteStage(ScheduledStage):
         self.n_failed = 0
 
     def run_task(self, task: int) -> Optional[Route]:
-        return self.engine.rip_and_reroute(
-            self.routes, self.ordered_nets[task].name
-        )
+        name = self.ordered_nets[task].name
+        if self._cache is not None:
+            return self.engine.rip_and_reroute_cached(
+                self.routes, name, self._cache
+            )
+        return self.engine.rip_and_reroute(self.routes, name)
 
     def commit_task(self, task: int, result: Optional[Route]) -> None:
         if result is None:
@@ -347,8 +429,11 @@ class RerouteStage(ScheduledStage):
             abort=self._process_abort,
         )
 
-    def _process_payload(self, task: int) -> Net:
-        return self.ordered_nets[task]
+    def _process_payload(self, task: int):
+        net = self.ordered_nets[task]
+        if self.engine.uses_runtime:
+            return ("maze", net)
+        return net
 
     def _process_pre_dispatch(self, task: int) -> None:
         old = self.routes[self.ordered_nets[task].name]
@@ -374,15 +459,45 @@ class RerouteStage(ScheduledStage):
             old.commit(self.engine.graph)
 
 
-def _make_runner(config: RouterConfig) -> StageRunner:
-    """Build the stage runner for ``config``.
+def resolve_execution_policy(config: RouterConfig) -> str:
+    """Return the effective execution policy for ``config``.
 
     The ``REPRO_FORCE_EXECUTOR`` environment variable overrides the
     config's policy — the seam CI uses to run the whole test suite
     under the ``processes`` policy without touching each test.
     """
-    policy = os.environ.get("REPRO_FORCE_EXECUTOR") or config.executor
-    return StageRunner(policy=policy, n_workers=config.n_workers)
+    return os.environ.get("REPRO_FORCE_EXECUTOR") or config.executor
+
+
+def _make_runner(config: RouterConfig) -> StageRunner:
+    """Build the stage runner for ``config``."""
+    return StageRunner(
+        policy=resolve_execution_policy(config), n_workers=config.n_workers
+    )
+
+
+def _cached_schedule(runner: StageRunner, stage: ScheduledStage, context):
+    """Schedule ``stage``, reusing the context's cached schedule.
+
+    A :class:`StageSchedule` is a pure function of the task footprints
+    and the runner's bin size (executors copy the in-degree array, so
+    a schedule is safely replayed and shared).
+    """
+    if context is None:
+        return runner.schedule(stage)
+    key = (
+        stage.name,
+        runner.bin_size,
+        tuple(
+            tuple(box.as_tuple() for box in boxes)
+            for boxes in stage.task_boxes()
+        ),
+    )
+    schedule = context.schedule_cache.get(key)
+    if schedule is None:
+        schedule = runner.schedule(stage)
+        context.schedule_cache[key] = schedule
+    return schedule
 
 
 def run_pattern_stage(
@@ -391,16 +506,20 @@ def run_pattern_stage(
     device: Device,
     arena: ZeroCopyArena,
     cost_stats: Optional[Dict[str, float]] = None,
+    context=None,
 ) -> Tuple[Dict[str, Route], StageReport]:
     """Route every net with pattern routing.
 
     Returns the committed routes (keyed in netlist order) and the
     pipeline's execution report.  With ``cost_stats`` (a dict the
     caller owns), the stage's cost-engine counters are written into it.
+    With a session ``context``, task results, Steiner trees, and
+    schedules are served from (and fill) its warm caches.
     """
-    stage = PatternStage(design, config, device, arena)
+    stage = PatternStage(design, config, device, arena, context=context)
+    runner = _make_runner(config)
     try:
-        report = _make_runner(config).run(stage)
+        report = runner.run(stage, schedule=_cached_schedule(runner, stage, context))
     finally:
         stage.teardown_processes()
     if cost_stats is not None:
@@ -417,6 +536,8 @@ def run_rrr_stage(
     routes: Dict[str, Route],
     device: Optional[Device] = None,
     cost_stats: Optional[Dict[str, float]] = None,
+    context=None,
+    on_iteration=None,
 ) -> Tuple[int, List[IterationStats]]:
     """Run the rip-up-and-reroute iterations in place.
 
@@ -426,7 +547,11 @@ def run_rrr_stage(
     With a ``device``, the wavefront engine's sweep launches are
     metered into it alongside the pattern kernels.  With ``cost_stats``
     (a dict the caller owns), the stage's aggregated cost-engine
-    counters are written into it.
+    counters are written into it.  With a session ``context``, maze
+    re-routes and conflict schedules are served from its warm caches;
+    ``on_iteration`` (if given) is called with each
+    :class:`IterationStats` as it completes — the progress hook the job
+    service streams to clients.
     """
     graph = design.graph
     nets_by_name = {net.name: net for net in design.netlist}
@@ -439,9 +564,21 @@ def run_rrr_stage(
         backend=config.backend,
         device=device,
         cost_engine=config.cost_engine,
+        context=context,
+        config=config,
     )
     runner = _make_runner(config)
     rrr_scheme = config.rrr_sorting_scheme or config.sorting_scheme
+    cache = context.cache if context is not None else None
+    # Adaptive cache bypass: hashing a maze task's demand window costs
+    # real time, and on congestion-dominated designs the windows churn
+    # too fast for hits.  The cache only affects *speed* — hits and
+    # misses produce bit-identical routes — so dropping it when the
+    # observed hit rate stays low is free of correctness risk.
+    lookups_at_entry = (cache.hits + cache.misses) if cache is not None else 0
+    hits_at_entry = cache.hits if cache is not None else 0
+    _BYPASS_MIN_LOOKUPS = 64
+    _BYPASS_HIT_RATE = 0.25
 
     initial_to_rip: Optional[int] = None
     iterations: List[IterationStats] = []
@@ -457,18 +594,23 @@ def run_rrr_stage(
                 break
 
             # Sorting and conflict analysis depend only on *which* nets
-            # violate; reuse them across iterations with an identical set.
+            # violate; reuse them across iterations with an identical set
+            # (and across runs through the session's schedule cache).
             key = tuple(sorted(violating))
             if key != cached_key:
                 ordered_nets = sort_nets(
                     [nets_by_name[name] for name in violating], rrr_scheme
                 )
-                schedule = runner.schedule(
-                    RerouteStage(engine, routes, ordered_nets, config.maze_margin)
+                schedule = _cached_schedule(
+                    runner,
+                    RerouteStage(engine, routes, ordered_nets, config.maze_margin),
+                    context,
                 )
                 cached_key = key
 
-            stage = RerouteStage(engine, routes, ordered_nets, config.maze_margin)
+            stage = RerouteStage(
+                engine, routes, ordered_nets, config.maze_margin, cache=cache
+            )
             visited_before = engine.nodes_visited
             cost_before = engine.cost_engine_stats()
             report = runner.run(stage, schedule=schedule)
@@ -490,6 +632,14 @@ def run_rrr_stage(
                     report=report,
                 )
             )
+            if on_iteration is not None:
+                on_iteration(iterations[-1])
+            if cache is not None:
+                lookups = (cache.hits + cache.misses) - lookups_at_entry
+                if lookups >= _BYPASS_MIN_LOOKUPS:
+                    rate = (cache.hits - hits_at_entry) / lookups
+                    if rate < _BYPASS_HIT_RATE:
+                        cache = None
     finally:
         # The pool and arena persist across iterations; always release
         # them (and unlink the shared segment) on the way out.
@@ -502,6 +652,8 @@ def run_rrr_stage(
 __all__ = [
     "PatternStage",
     "RerouteStage",
+    "make_pattern_engine",
+    "resolve_execution_policy",
     "run_pattern_stage",
     "run_rrr_stage",
 ]

@@ -235,6 +235,12 @@ class CostQuery:
         self._h_prefix = np.empty(0)  # host (L, nx, ny), cumulative along x
         self._v_prefix = np.empty(0)  # host (L, nx, ny), cumulative along y
         self._via_prefix = np.empty(0)  # host (L, nx, ny), cumulative along layer
+        # Reference-prefix tables of the masked mode (see rebuild):
+        # prefix sums of the pinned reference costs, recomputed only
+        # when the reference identity changes (once per stage).
+        self._ref_src = None
+        self._ref_h_prefix: Optional[np.ndarray] = None
+        self._ref_v_prefix: Optional[np.ndarray] = None
         self._h_prefix_dev = None  # device twins of the three tables
         self._v_prefix_dev = None
         self._via_prefix_dev = None
@@ -276,12 +282,19 @@ class CostQuery:
         and ``reference`` (a ``(wire_cost_list, via_cost)`` snapshot from
         an earlier rebuild), the rebuild is *masked*: only edges fully
         inside a box are recomputed from current demand; everything else
-        keeps the reference value.  This makes the snapshot independent
-        of demand outside the boxes — not just mathematically (prefix
-        *differences* inside a box always telescope to in-box sums) but
-        bit for bit, because upstream prefix contributions are pinned.
-        The scheduler relies on this: tasks whose footprints do not
-        overlap see identical snapshots no matter which finished first.
+        keeps the reference value.  The wire-prefix tables are built
+        *per box*: inside a box the prefix is the pure reference prefix
+        at the box's upstream face plus a seeded scan of the box's own
+        live edge costs; outside every box it is the reference prefix
+        itself.  A query that stays inside one box (the only queries the
+        batched DP issues — a net's segments never leave its bounding
+        box) is therefore a bit-exact function of the reference and that
+        box's demand alone: independent of demand outside the boxes,
+        *and* of which other boxes share the mask.  The scheduler relies
+        on the first property (non-conflicting tasks see identical
+        snapshots no matter which finished first); the session's per-net
+        route cache relies on the second (a net's DP output does not
+        depend on the chunk composition an edit reshuffles).
 
         ``window`` (a ``(x0, y0, x1, y1)`` G-cell rect) limits an
         *incremental* unmasked refresh to dirty regions intersecting the
@@ -355,19 +368,38 @@ class CostQuery:
         via_edge = np.zeros((n_layers, nx, ny))
         via_edge[1:] = self.via_cost
 
-        self._h_prefix_dev = xp.cumsum(xp.asarray(h_edge), axis=1)
-        self._v_prefix_dev = xp.cumsum(xp.asarray(v_edge), axis=2)
-        self._via_prefix_dev = xp.cumsum(xp.asarray(via_edge), axis=0)
-        if xp.device_is_host:
-            # The device arrays *are* host NumPy arrays — reuse them as
-            # the host twins instead of round-tripping through to_numpy.
-            self._h_prefix = self._h_prefix_dev
-            self._v_prefix = self._v_prefix_dev
-            self._via_prefix = self._via_prefix_dev
+        if boxes is None:
+            self._h_prefix_dev = xp.cumsum(xp.asarray(h_edge), axis=1)
+            self._v_prefix_dev = xp.cumsum(xp.asarray(v_edge), axis=2)
+            self._via_prefix_dev = xp.cumsum(xp.asarray(via_edge), axis=0)
+            if xp.device_is_host:
+                # The device arrays *are* host NumPy arrays — reuse them
+                # as the host twins instead of round-tripping through
+                # to_numpy.
+                self._h_prefix = self._h_prefix_dev
+                self._v_prefix = self._v_prefix_dev
+                self._via_prefix = self._via_prefix_dev
+            else:
+                self._h_prefix = xp.to_numpy(self._h_prefix_dev)
+                self._v_prefix = xp.to_numpy(self._v_prefix_dev)
+                self._via_prefix = xp.to_numpy(self._via_prefix_dev)
         else:
-            self._h_prefix = xp.to_numpy(self._h_prefix_dev)
-            self._v_prefix = xp.to_numpy(self._v_prefix_dev)
-            self._via_prefix = xp.to_numpy(self._via_prefix_dev)
+            # Per-box seeded wire prefixes (docstring): reference prefix
+            # everywhere, then one anchored in-box scan per box.  Via
+            # prefixes are pillar-local cumsums — already a pure
+            # function of the pillar's own (in-box) costs.
+            self._ensure_reference_prefixes(reference)
+            self._h_prefix = self._ref_h_prefix.copy()
+            self._v_prefix = self._ref_v_prefix.copy()
+            self._via_prefix = np.cumsum(via_edge, axis=0)
+            for box in boxes:
+                for layer in range(n_layers):
+                    rect = self._box_wire_rect(layer, box)
+                    if rect is not None:
+                        self._seed_wire_prefix(layer, rect, h_edge, v_edge)
+            self._h_prefix_dev = xp.asarray(self._h_prefix)
+            self._v_prefix_dev = xp.asarray(self._v_prefix)
+            self._via_prefix_dev = xp.asarray(self._via_prefix)
 
         if boxes is None:
             self.stats.full_rebuilds += 1
@@ -379,6 +411,76 @@ class CostQuery:
         self.stats.refreshed_wire_edges += wire_n
         self.stats.refreshed_via_edges += via_n
         self.last_upload_bytes = (wire_n + via_n) * self.via_cost.itemsize
+
+    # -- masked-mode prefix primitives (shared by both engines) --------- #
+    def _ensure_reference_prefixes(self, reference) -> None:
+        """(Re)build the reference wire-prefix tables.
+
+        Cached by reference identity — one global scan per stage
+        reference, not one per masked rebuild.
+        """
+        if self._ref_src is not None:
+            prev_wire, prev_via = self._ref_src
+            ref_wire, ref_via = reference
+            if (
+                prev_via is ref_via
+                and len(prev_wire) == len(ref_wire)
+                and all(a is b for a, b in zip(prev_wire, ref_wire))
+            ):
+                return
+        ref_wire, _ = reference
+        nx, ny, n_layers = self.graph.nx, self.graph.ny, self.n_layers
+        h_edge = np.zeros((n_layers, nx, ny))
+        v_edge = np.zeros((n_layers, nx, ny))
+        for layer in range(n_layers):
+            if self._h_allowed[layer]:
+                h_edge[layer, 1:, :] = ref_wire[layer]
+            else:
+                v_edge[layer, :, 1:] = ref_wire[layer]
+        self._ref_h_prefix = np.cumsum(h_edge, axis=1)
+        self._ref_v_prefix = np.cumsum(v_edge, axis=2)
+        self._ref_src = reference
+
+    def _box_wire_rect(self, layer: int, box) -> Optional[IntRect]:
+        """Clipped in-box edge rect of ``box`` on ``layer`` (or None)."""
+        if self._h_allowed[layer]:
+            rect = (box.xlo, box.ylo, box.xhi - 1, box.yhi)
+        else:
+            rect = (box.xlo, box.ylo, box.xhi, box.yhi - 1)
+        shape = self.wire_cost[layer].shape
+        xlo, ylo = max(rect[0], 0), max(rect[1], 0)
+        xhi, yhi = min(rect[2], shape[0] - 1), min(rect[3], shape[1] - 1)
+        if xhi < xlo or yhi < ylo:
+            return None
+        return (xlo, ylo, xhi, yhi)
+
+    def _seed_wire_prefix(self, layer: int, rect: IntRect, h_edge, v_edge) -> None:
+        """Anchored in-box prefix scan (edge-rect indices on the scan
+        axis): reference prefix at the box's upstream face, then the
+        box's own live edge costs.  ``tmp[0] += anchor`` is the same
+        IEEE operation the reference scan performed at that position,
+        so identical inputs reproduce the reference bits exactly."""
+        xlo, ylo, xhi, yhi = rect
+        if self._h_allowed[layer]:
+            rows = slice(ylo, yhi + 1)
+            tmp = h_edge[layer, xlo + 1 : xhi + 2, rows].copy()
+            tmp[0] += self._ref_h_prefix[layer, xlo, rows]
+            np.cumsum(tmp, axis=0, out=self._h_prefix[layer, xlo + 1 : xhi + 2, rows])
+        else:
+            cols = slice(xlo, xhi + 1)
+            tmp = v_edge[layer, cols, ylo + 1 : yhi + 2].copy()
+            tmp[:, 0] += self._ref_v_prefix[layer, cols, ylo]
+            np.cumsum(tmp, axis=1, out=self._v_prefix[layer, cols, ylo + 1 : yhi + 2])
+
+    def _restore_wire_prefix(self, layer: int, rect: IntRect) -> None:
+        """Revert one box's prefix slice to the reference tables."""
+        xlo, ylo, xhi, yhi = rect
+        if self._h_allowed[layer]:
+            sl = (layer, slice(xlo + 1, xhi + 2), slice(ylo, yhi + 1))
+            self._h_prefix[sl] = self._ref_h_prefix[sl]
+        else:
+            sl = (layer, slice(xlo, xhi + 1), slice(ylo + 1, yhi + 2))
+            self._v_prefix[sl] = self._ref_v_prefix[sl]
 
     def _boxes_edge_tally(self, boxes) -> Tuple[int, int]:
         """Deduplicated (wire, via) edge counts covered by ``boxes``."""
@@ -606,6 +708,11 @@ class CostQuery:
         np.cumsum(self._h_edge, axis=1, out=self._h_prefix)
         np.cumsum(self._v_edge, axis=2, out=self._v_prefix)
         np.cumsum(self._z_edge, axis=0, out=self._via_prefix)
+        # The freshly seeded tables *are* the reference prefixes —
+        # capture them for the per-box anchored scans and restores.
+        self._ref_h_prefix = self._h_prefix.copy()
+        self._ref_v_prefix = self._v_prefix.copy()
+        self._ref_src = reference
         self._mode = "masked"
         self._masked_ref = reference
         self._masked_boxes = ()
@@ -660,7 +767,17 @@ class CostQuery:
         else:
             arr[sl] = reference[0][layer][sl]
         self._mirror_wire(layer, xlo, ylo, xhi, yhi)
-        self._merge_prefix_wire(layer, (xlo, ylo, xhi, yhi))
+        if self._mode == "masked" and self._ref_src is not None:
+            # Per-box prefixes are written eagerly (no suffix to patch:
+            # a box write never disturbs entries past its own slice).
+            if reference is None:
+                self._seed_wire_prefix(
+                    layer, (xlo, ylo, xhi, yhi), self._h_edge, self._v_edge
+                )
+            else:
+                self._restore_wire_prefix(layer, (xlo, ylo, xhi, yhi))
+        else:
+            self._merge_prefix_wire(layer, (xlo, ylo, xhi, yhi))
         return (xlo, ylo, xhi, yhi)
 
     def _refresh_via_rect(

@@ -402,6 +402,19 @@ class GridGraph:
         np.copyto(self.via_demand, via)
         self.dirty.append(DirtyLog.ALL)
 
+    def reset_demand(self) -> None:
+        """Zero all demand in place and mark everything dirty.
+
+        Writes through the current arrays (shared-arena views included,
+        so attached workers observe the reset), which is what lets a
+        warm :class:`~repro.session.session.RoutingSession` replay a
+        route from scratch without rebuilding its graph or pools.
+        """
+        for layer in range(self.n_layers):
+            self.wire_demand[layer][:] = 0.0
+        self.via_demand[:] = 0.0
+        self.dirty.append(DirtyLog.ALL)
+
     def __repr__(self) -> str:
         return (
             f"GridGraph({self.nx}x{self.ny}, L={self.n_layers}, "

@@ -176,6 +176,8 @@ class RipupReroute:
         backend: str = "numpy",
         device=None,
         cost_engine: str = "full",
+        context=None,
+        config=None,
     ) -> None:
         self.graph = graph
         self.nets = netlist_by_name
@@ -199,6 +201,13 @@ class RipupReroute:
         self._arena = None
         # Cost-engine counters folded back from worker processes.
         self._pooled_stats = CostEngineStats()
+        # Session context (optional): with one, the processes policy
+        # runs on the session's shared runtime pool instead of a
+        # stage-private one; ``config`` is only needed to create that
+        # runtime lazily when the maze stage reaches it first.
+        self._context = context
+        self._config = config
+        self._runtime = None
 
     @property
     def maze(self) -> MazeRouter:
@@ -255,7 +264,20 @@ class RipupReroute:
         is immediately visible to the attached workers.  The pool
         persists across rip-up iterations; :meth:`teardown_processes`
         releases both.
+
+        With a session context the pool is the session's combined
+        runtime pool (shared with the pattern stage, payloads tagged by
+        :class:`~repro.session.runtime.SessionRuntime`); the session
+        owns its lifetime.
         """
+        if self._context is not None and self._config is not None:
+            if self._runtime is None:
+                from repro.session.runtime import ensure_runtime
+
+                self._runtime = ensure_runtime(
+                    self._context, self.graph, self._config, n_workers
+                )
+            return self._runtime.pool
         if self._pool is None:
             from repro.sched.executor import WorkerPool, resolve_worker_processes
             from repro.sched.shm import SharedArena
@@ -288,13 +310,22 @@ class RipupReroute:
         if self._device is not None and launches:
             self._device.launches.extend(launches)
 
+    @property
+    def uses_runtime(self) -> bool:
+        """True when tasks run on the session's combined runtime pool."""
+        return self._runtime is not None
+
     def teardown_processes(self) -> None:
         """Release the worker pool and the shared arena (idempotent).
 
         The graph re-privatises its arrays first, so routing state
         survives bit-identically; the arena is always unlinked — a
-        leaked segment would outlive the process.
+        leaked segment would outlive the process.  A session-owned
+        runtime outlives the engine — only the reference is dropped.
         """
+        if self._runtime is not None:
+            self._runtime = None
+            return
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -328,6 +359,52 @@ class RipupReroute:
             with self._visited_lock:
                 self.nodes_visited += visited
         new_route.commit(self.graph)
+        return new_route
+
+    def rip_and_reroute_cached(
+        self, routes: Dict[str, Route], name: str, cache
+    ) -> Optional[Route]:
+        """Content-addressed :meth:`rip_and_reroute`.
+
+        After ripping up the old route, the net's search region demand
+        is hashed; a cache hit commits the previously computed route
+        (or restores the old route when the cached outcome was a
+        search failure) without running the maze search — bit-identical
+        either way, because the key captures every input the search
+        reads (net pins, region, in-region demand; capacities and the
+        cost model are session constants).
+        """
+        from repro.session.cache import demand_signature, maze_task_key
+
+        net = self.nets[name]
+        old_route = routes[name]
+        old_route.uncommit(self.graph)
+        region = net.bbox.expanded(self.margin).clipped(
+            self.graph.nx, self.graph.ny
+        )
+        key = maze_task_key(
+            net, region.as_tuple(), demand_signature(self.graph, [region])
+        )
+        hit, cached = cache.get(key)
+        if hit:
+            if cached is None:
+                old_route.commit(self.graph)
+                return None
+            cached.commit(self.graph)
+            return cached
+        maze = self.maze
+        try:
+            new_route = maze.route_net(net)
+        except MazeRoutingError:
+            old_route.commit(self.graph)
+            cache.put(key, None)
+            return None
+        finally:
+            visited = maze.consume_visited()
+            with self._visited_lock:
+                self.nodes_visited += visited
+        new_route.commit(self.graph)
+        cache.put(key, new_route)
         return new_route
 
     def reroute(

@@ -1,0 +1,160 @@
+"""ECO netlist deltas: add / remove / move nets against a base netlist.
+
+An engineering change order (ECO) edits a placed-and-routed design
+without restarting the flow.  At the global-routing abstraction an ECO
+is a :class:`NetlistDelta` — nets removed, nets added, and nets whose
+pins moved — applied to a base :class:`~repro.netlist.net.Netlist`.
+The delta is a pure value: applying it returns a *new* netlist (the
+base is never mutated), preserving the base's net order so every
+deterministic downstream stage (sorting, batching, scheduling) sees a
+canonical sequence.  Moved nets keep their position in the order;
+added nets are appended in delta order.
+
+:meth:`RoutingSession.eco <repro.session.session.RoutingSession.eco>`
+consumes deltas to re-route a warm session incrementally;
+:func:`repro.netlist.generator.perturb_design` produces reproducible
+deltas for benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.netlist.net import Net, Netlist
+
+
+@dataclass(frozen=True)
+class NetlistDelta:
+    """An immutable ECO edit: remove, add, and move nets.
+
+    ``removed`` names nets to drop, ``added`` holds new nets to append,
+    and ``moved`` holds replacement nets (same name, new pins) that
+    take the original net's position in the netlist order.  The three
+    groups must be disjoint by name.
+    """
+
+    removed: Tuple[str, ...] = ()
+    added: Tuple[Net, ...] = ()
+    moved: Tuple[Net, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any sequence; store canonical tuples.
+        object.__setattr__(self, "removed", tuple(self.removed))
+        object.__setattr__(self, "added", tuple(self.added))
+        object.__setattr__(self, "moved", tuple(self.moved))
+        seen: Dict[str, str] = {}
+        for name in self.removed:
+            seen[name] = "removed"
+        for group, nets in (("added", self.added), ("moved", self.moved)):
+            for net in nets:
+                if net.name in seen:
+                    raise ValueError(
+                        f"net {net.name!r} appears in both "
+                        f"{seen[net.name]!r} and {group!r}"
+                    )
+                seen[net.name] = group
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the delta edits nothing."""
+        return not (self.removed or self.added or self.moved)
+
+    def affected_names(self) -> Tuple[str, ...]:
+        """Names of every net the delta touches (removed, added, moved)."""
+        return (
+            tuple(self.removed)
+            + tuple(net.name for net in self.added)
+            + tuple(net.name for net in self.moved)
+        )
+
+    def validate(self, netlist: Netlist) -> None:
+        """Raise ``ValueError`` unless the delta applies to ``netlist``.
+
+        Removed and moved nets must exist; added names must be new.
+        """
+        for name in self.removed:
+            if name not in netlist:
+                raise ValueError(f"cannot remove unknown net {name!r}")
+        for net in self.moved:
+            if net.name not in netlist:
+                raise ValueError(f"cannot move unknown net {net.name!r}")
+        for net in self.added:
+            if net.name in netlist:
+                raise ValueError(f"cannot add existing net {net.name!r}")
+
+    def apply(self, netlist: Netlist) -> Netlist:
+        """Return a new netlist with the delta applied.
+
+        The base netlist is untouched.  Order is canonical: surviving
+        nets keep their base order (moved nets replaced in place),
+        added nets append in delta order — so a cold route of the
+        edited design and a warm ECO re-route iterate nets identically.
+        """
+        self.validate(netlist)
+        removed = set(self.removed)
+        moved = {net.name: net for net in self.moved}
+        nets: List[Net] = []
+        for net in netlist:
+            if net.name in removed:
+                continue
+            nets.append(moved.get(net.name, net))
+        nets.extend(self.added)
+        return Netlist(nets)
+
+    def summary(self) -> Dict[str, int]:
+        """Return edit counts (used by service responses and reports)."""
+        return {
+            "n_removed": len(self.removed),
+            "n_added": len(self.added),
+            "n_moved": len(self.moved),
+        }
+
+    # ------------------------------------------------------------------ #
+    # JSON wire format (the service's /jobs/<id>/eco body)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serializable description of the delta."""
+
+        def net_dict(net: Net) -> Dict[str, object]:
+            return {
+                "name": net.name,
+                "pins": [[p.x, p.y, p.layer] for p in net.pins],
+            }
+
+        return {
+            "removed": list(self.removed),
+            "added": [net_dict(net) for net in self.added],
+            "moved": [net_dict(net) for net in self.moved],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NetlistDelta":
+        """Parse the :meth:`to_dict` format (raises ``ValueError``)."""
+        from repro.netlist.net import Pin
+
+        def parse_net(entry) -> Net:
+            try:
+                pins = [Pin(int(x), int(y), int(layer))
+                        for x, y, layer in entry["pins"]]
+                return Net(str(entry["name"]), pins)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"bad net entry {entry!r}: {exc}") from exc
+
+        unknown = set(data) - {"removed", "added", "moved"}
+        if unknown:
+            raise ValueError(f"unknown delta fields: {sorted(unknown)}")
+        return cls(
+            removed=tuple(str(n) for n in data.get("removed", ())),
+            added=tuple(parse_net(e) for e in data.get("added", ())),
+            moved=tuple(parse_net(e) for e in data.get("moved", ())),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NetlistDelta(-{len(self.removed)} "
+            f"+{len(self.added)} ~{len(self.moved)})"
+        )
+
+
+__all__ = ["NetlistDelta"]

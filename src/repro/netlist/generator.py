@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.grid.graph import GridGraph
 from repro.grid.layers import Direction, LayerStack
+from repro.netlist.delta import NetlistDelta
 from repro.netlist.design import Design
 from repro.netlist.net import Net, Netlist, Pin
 from repro.utils.rng import make_rng
@@ -211,4 +212,109 @@ def _apply_blockages(
             region *= spec.blockage_capacity_fraction
 
 
-__all__ = ["DesignSpec", "generate_design"]
+# --------------------------------------------------------------------- #
+# ECO perturbations
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PerturbSpec:
+    """Parameters of a reproducible ECO perturbation.
+
+    Fractions are of the base design's net count; each resolves to at
+    least one net when positive.  Moved nets are re-scattered around a
+    jittered centre (a placement tweak); added nets are fresh local
+    nets drawn like the generator's.
+    """
+
+    name: str = "custom"
+    move_fraction: float = 0.02
+    add_fraction: float = 0.01
+    remove_fraction: float = 0.01
+    max_shift: float = 4.0  # G-cells a moved net's centre may drift
+    max_pins: int = 4  # pin cap of added nets
+
+    def __post_init__(self) -> None:
+        for attr in ("move_fraction", "add_fraction", "remove_fraction"):
+            value = getattr(self, attr)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{attr} must be in [0, 1], got {value}")
+
+
+#: Named ECO workloads, smallest to largest.
+ECO_PRESETS: dict = {
+    "tiny": PerturbSpec("tiny", 0.01, 0.005, 0.005),
+    "small": PerturbSpec("small", 0.02, 0.01, 0.01),
+    "medium": PerturbSpec("medium", 0.05, 0.025, 0.025),
+}
+
+
+def _resolve_count(fraction: float, n_nets: int) -> int:
+    """Resolve a fraction of the netlist to a count (>=1 when positive)."""
+    if fraction <= 0:
+        return 0
+    return max(1, int(round(fraction * n_nets)))
+
+
+def perturb_design(
+    design: Design, spec: PerturbSpec, seed: int = 0
+) -> NetlistDelta:
+    """Draw a deterministic ECO delta for ``design``.
+
+    Everything derives from ``(design.name, spec.name, seed)`` via the
+    same SHA-256 seeding as the generator, so a named workload is
+    bit-identical across runs and machines.  Moved, removed, and added
+    nets are disjoint; added net names are unique
+    (``eco{seed}_net{i}``).
+    """
+    rng = make_rng((design.name, "eco", spec.name, seed))
+    nets = list(design.netlist)
+    nx, ny = design.graph.nx, design.graph.ny
+    n_layers = design.graph.n_layers
+
+    n_move = _resolve_count(spec.move_fraction, len(nets))
+    n_remove = _resolve_count(spec.remove_fraction, len(nets))
+    if n_move + n_remove > len(nets):
+        raise ValueError("perturbation edits more nets than the design has")
+    picked = rng.choice(len(nets), size=n_move + n_remove, replace=False)
+    moved_idx, removed_idx = picked[:n_move], picked[n_move:]
+
+    pin_weights = DesignSpec(
+        name="_eco", nx=nx, ny=ny, n_layers=n_layers, n_nets=1
+    )
+
+    moved: List[Net] = []
+    for i in sorted(int(j) for j in moved_idx):
+        net = nets[i]
+        shift = rng.uniform(-spec.max_shift, spec.max_shift, size=2)
+        centre = np.array(
+            [
+                (net.bbox.xlo + net.bbox.xhi) / 2.0 + shift[0],
+                (net.bbox.ylo + net.bbox.yhi) / 2.0 + shift[1],
+            ]
+        )
+        spread = max(1.0, max(net.bbox.width, net.bbox.height) / 2.0)
+        pins = _make_net_pins(pin_weights, rng, centre, spread, net.n_pins)
+        moved.append(Net(net.name, pins))
+
+    removed = tuple(nets[i].name for i in sorted(int(j) for j in removed_idx))
+
+    added: List[Net] = []
+    span = max(nx, ny)
+    for i in range(_resolve_count(spec.add_fraction, len(nets))):
+        centre = np.array(
+            [rng.uniform(0, nx), rng.uniform(0, ny)]
+        )
+        spread = float(np.exp(rng.uniform(np.log(1.0), np.log(max(3.0, span / 8.0)))))
+        n_pins = int(rng.integers(2, max(3, spec.max_pins + 1)))
+        pins = _make_net_pins(pin_weights, rng, centre, spread, n_pins)
+        added.append(Net(f"eco{seed}_net{i}", pins))
+
+    return NetlistDelta(removed=removed, added=tuple(added), moved=tuple(moved))
+
+
+__all__ = [
+    "DesignSpec",
+    "generate_design",
+    "PerturbSpec",
+    "ECO_PRESETS",
+    "perturb_design",
+]

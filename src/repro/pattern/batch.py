@@ -78,13 +78,24 @@ class BatchPatternRouter:
         self.arena = arena or ZeroCopyArena()
         self.edge_shift = edge_shift
         self.max_chunk_elements = max_chunk_elements
+        # Optional shared cache of unshifted Steiner topologies (set by
+        # the session-aware pattern stage); ``make_job`` consults it.
+        self.steiner_cache = None
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def make_job(self, net: Net) -> NetRoutingJob:
-        """Plan one net: Steiner tree, edge shifting, intranet order."""
-        tree = build_steiner_tree(net)
+        """Plan one net: Steiner tree, edge shifting, intranet order.
+
+        Tree topology is a pure function of the pins, so a session's
+        shared Steiner cache can serve it; edge shifting then adapts
+        the (private) copy to live demand.
+        """
+        if self.steiner_cache is not None:
+            tree = self.steiner_cache.tree(net)
+        else:
+            tree = build_steiner_tree(net)
         if self.edge_shift:
             shift_edges(tree, self.graph)
         return NetRoutingJob(net, tree, order_tree(tree))

@@ -33,6 +33,17 @@ def extract_batches(
     respect to the tasks remaining when it was started, matching the
     greedy scan of Algorithm 1.
     """
+    # Clip every box once up front: leftovers are re-scanned each
+    # round, and building Rect objects per round dominated the loop.
+    bounds = [
+        (
+            max(box.xlo, 0),
+            min(box.xhi, nx - 1) + 1,
+            max(box.ylo, 0),
+            min(box.yhi, ny - 1) + 1,
+        )
+        for box in boxes
+    ]
     remaining = list(range(len(boxes)))
     batches: List[List[int]] = []
     occupancy = np.zeros((nx, ny), dtype=bool)
@@ -41,8 +52,8 @@ def extract_batches(
         batch: List[int] = []
         leftovers: List[int] = []
         for index in remaining:
-            box = boxes[index].clipped(nx, ny)
-            window = occupancy[box.xlo : box.xhi + 1, box.ylo : box.yhi + 1]
+            xlo, xhi, ylo, yhi = bounds[index]
+            window = occupancy[xlo:xhi, ylo:yhi]
             if window.any():
                 leftovers.append(index)
             else:

@@ -28,6 +28,34 @@ class ConflictGraph:
         self._adjacency[a].add(b)
         self._adjacency[b].add(a)
 
+    def add_conflicts_bulk(self, a, b) -> None:
+        """Add many edges at once from parallel index arrays.
+
+        ``a`` and ``b`` are equal-length numpy integer arrays; pair
+        ``(a[i], b[i])`` becomes an edge.  Duplicates (in either
+        orientation, or against existing edges) collapse; self-pairs
+        raise like :meth:`add_conflict`.
+        """
+        import numpy as np
+
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.size == 0:
+            return
+        if bool(np.any(a == b)):
+            raise ValueError("a task cannot conflict with itself")
+        src = np.concatenate([a, b])
+        dst = np.concatenate([b, a])
+        order = np.argsort(src, kind="stable")
+        src = src[order]
+        dst = dst[order]
+        starts = np.searchsorted(src, np.arange(self.n_tasks + 1))
+        adjacency = self._adjacency
+        for node in range(self.n_tasks):
+            lo, hi = starts[node], starts[node + 1]
+            if lo != hi:
+                adjacency[node].update(dst[lo:hi].tolist())
+
     def conflicts_of(self, task: int) -> Set[int]:
         """Return the set of tasks conflicting with ``task``."""
         return self._adjacency[task]

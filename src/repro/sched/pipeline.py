@@ -38,6 +38,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.grid.geometry import Rect
 from repro.sched.conflict import ConflictGraph
 from repro.sched.executor import (
@@ -134,21 +136,53 @@ def build_group_conflict_graph(
     if bin_size < 1:
         raise ValueError("bin_size must be >= 1")
     graph = ConflictGraph(len(groups))
-    bins: Dict[Tuple[int, int], List[Tuple[int, Rect]]] = {}
+    n_boxes = sum(len(boxes) for boxes in groups)
+    if n_boxes == 0:
+        return graph
+    task = np.empty(n_boxes, dtype=np.int64)
+    x0 = np.empty(n_boxes, dtype=np.int64)
+    y0 = np.empty(n_boxes, dtype=np.int64)
+    x1 = np.empty(n_boxes, dtype=np.int64)
+    y1 = np.empty(n_boxes, dtype=np.int64)
+    bins: Dict[Tuple[int, int], List[int]] = {}
+    flat = 0
     for index, boxes in enumerate(groups):
         for box in boxes:
+            task[flat] = index
+            x0[flat], y0[flat] = box.xlo, box.ylo
+            x1[flat], y1[flat] = box.xhi, box.yhi
             for bx in range(box.xlo // bin_size, box.xhi // bin_size + 1):
                 for by in range(box.ylo // bin_size, box.yhi // bin_size + 1):
-                    bins.setdefault((bx, by), []).append((index, box))
+                    bins.setdefault((bx, by), []).append(flat)
+            flat += 1
+    # Pairwise closed-rect overlap per bin, vectorised: any overlapping
+    # pair shares the bin containing its intersection, so the union
+    # over bins is exactly the conflict relation (duplicates collapse
+    # in the bulk insert).
+    pair_codes: List[np.ndarray] = []
+    n_tasks = len(groups)
     for members in bins.values():
-        for i in range(len(members)):
-            a, abox = members[i]
-            for j in range(i + 1, len(members)):
-                b, bbox = members[j]
-                if a == b or graph.are_conflicting(a, b):
-                    continue
-                if abox.overlaps(bbox):
-                    graph.add_conflict(a, b)
+        if len(members) < 2:
+            continue
+        idx = np.asarray(members, dtype=np.int64)
+        bx0, bx1 = x0[idx], x1[idx]
+        by0, by1 = y0[idx], y1[idx]
+        overlap = (
+            (bx0[:, None] <= bx1[None, :])
+            & (bx0[None, :] <= bx1[:, None])
+            & (by0[:, None] <= by1[None, :])
+            & (by0[None, :] <= by1[:, None])
+        )
+        row, col = np.nonzero(np.triu(overlap, 1))
+        a_tasks, b_tasks = task[idx[row]], task[idx[col]]
+        distinct = a_tasks != b_tasks
+        a_tasks, b_tasks = a_tasks[distinct], b_tasks[distinct]
+        lo = np.minimum(a_tasks, b_tasks)
+        hi = np.maximum(a_tasks, b_tasks)
+        pair_codes.append(lo * n_tasks + hi)
+    if pair_codes:
+        codes = np.unique(np.concatenate(pair_codes))
+        graph.add_conflicts_bulk(codes // n_tasks, codes % n_tasks)
     return graph
 
 

@@ -1,0 +1,27 @@
+"""Routing-as-a-service front end over warm sessions.
+
+Two layers sit above the :mod:`repro.session` core:
+
+* :class:`~repro.service.jobs.JobService` — an in-process job queue.
+  Jobs (full routes, ECO re-routes) move through a
+  ``submitted -> running -> done/failed`` lifecycle on a worker
+  thread, stream per-iteration progress events, and execute against
+  the warm :class:`~repro.session.store.SessionStore` so repeat jobs
+  on the same design reuse state.
+* :mod:`repro.service.api` — stdlib ``http.server`` JSON endpoints
+  (``/jobs``, ``/jobs/<id>/eco``, ``/sessions``, ...) over a
+  ``JobService``; ``python -m repro serve`` runs it.
+
+Everything is standard library: the service adds no dependencies.
+"""
+
+from repro.service.jobs import JobRecord, JobService, JobState
+from repro.service.api import RoutingAPIServer, serve
+
+__all__ = [
+    "JobService",
+    "JobRecord",
+    "JobState",
+    "RoutingAPIServer",
+    "serve",
+]

@@ -1,0 +1,148 @@
+"""One persistent worker pool + shared arena for both routing stages.
+
+Before sessions, the ``processes`` policy gave each stage its own
+worker pool and shared-memory arena (``PatternStage.process_plan`` and
+``RipupReroute.ensure_process_pool``), created and torn down per run.
+A :class:`SessionRuntime` hoists both onto the session: ONE arena
+carries the grid's demand/capacity planes *plus* the pattern stage's
+zero-demand cost-reference planes, and ONE pool of workers is
+initialised for *both* task kinds.  Payloads are tagged
+``("pattern", ...)`` or ``("maze", ...)`` and dispatched to the
+existing worker functions, so the per-task behaviour (and its
+bit-identical parent-side commit protocol) is unchanged.
+
+The cost reference can live in the arena for the session's whole life
+because in the session world the pattern stage always starts from zero
+demand — the reference is a session constant, computed here on a
+throwaway zero-demand graph exactly as ``PatternStage`` snapshots it
+at stage start.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import RouterConfig
+from repro.grid.graph import GridGraph
+
+
+def _session_worker_init(pattern_args, maze_args) -> None:
+    """Pool initializer: arm this worker for both task kinds."""
+    from repro.core.flow import _pattern_worker_init
+    from repro.maze.ripup import _maze_worker_init
+
+    _pattern_worker_init(*pattern_args)
+    _maze_worker_init(*maze_args)
+
+
+def _session_worker_run(payload):
+    """Dispatch one tagged task to the stage-specific worker function."""
+    kind, inner = payload
+    if kind == "pattern":
+        from repro.core.flow import _pattern_worker_run
+
+        return _pattern_worker_run(inner)
+    from repro.maze.ripup import _maze_worker_run
+
+    return _maze_worker_run(inner)
+
+
+def zero_demand_reference(graph: GridGraph, config: RouterConfig):
+    """Compute the stage-start cost reference at zero demand.
+
+    Built on a throwaway graph with ``graph``'s capacities so the
+    session graph's live demand is never disturbed.  Deterministic —
+    bit-identical to the snapshot ``PatternStage`` takes when a run
+    starts from zero demand.
+    """
+    from repro.core.flow import make_pattern_engine
+    from repro.gpu.device import Device
+    from repro.gpu.zerocopy import ZeroCopyArena
+
+    import numpy as np
+
+    fresh = GridGraph(graph.nx, graph.ny, graph.stack)
+    for layer in range(graph.n_layers):
+        np.copyto(fresh.wire_capacity[layer], graph.wire_capacity[layer])
+    np.copyto(fresh.via_capacity, graph.via_capacity)
+    engine = make_pattern_engine(fresh, config, Device(), ZeroCopyArena())
+    return engine.query.snapshot_reference()
+
+
+class SessionRuntime:
+    """The session's shared-memory arena and combined worker pool.
+
+    Created lazily by the first stage that runs under the ``processes``
+    policy with a session context; closed with the session.  The
+    session graph adopts the arena's views on creation, so every
+    parent-side commit is immediately visible to attached workers —
+    including :meth:`GridGraph.reset_demand` at the start of a replay.
+    """
+
+    def __init__(
+        self,
+        graph: GridGraph,
+        config: RouterConfig,
+        n_workers: int,
+        cost_reference=None,
+    ) -> None:
+        from repro.sched.executor import WorkerPool, resolve_worker_processes
+        from repro.sched.shm import SharedArena
+
+        if cost_reference is None:
+            cost_reference = zero_demand_reference(graph, config)
+        ref_wire, ref_via = cost_reference
+        exports = dict(graph.shared_exports())
+        for layer, arr in enumerate(ref_wire):
+            exports[f"ref/wire/{layer}"] = arr
+        exports["ref/via"] = ref_via
+        self.arena = SharedArena.create(exports)
+        graph.adopt_shared(self.arena)
+        self.graph = graph
+        self.config = config
+        self.pool = WorkerPool(
+            resolve_worker_processes(n_workers),
+            _session_worker_run,
+            initializer=_session_worker_init,
+            initargs=(
+                (self.arena.handle, graph.nx, graph.ny, graph.stack, config),
+                (
+                    self.arena.handle,
+                    graph.nx,
+                    graph.ny,
+                    graph.stack,
+                    config.cost_model,
+                    config.maze_margin,
+                    config.maze_engine,
+                    config.backend,
+                    config.cost_engine,
+                ),
+            ),
+        )
+        self._closed = False
+
+    def close(self) -> None:
+        """Release the pool and arena; re-privatise the graph (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.close()
+        self.graph.detach_shared()
+        self.arena.close()
+        self.arena.unlink()
+
+
+def ensure_runtime(context, graph: GridGraph, config: RouterConfig, n_workers: int):
+    """Return the context's runtime, creating it on first use."""
+    if context.runtime is None:
+        context.runtime = SessionRuntime(graph, config, n_workers)
+    return context.runtime
+
+
+__all__ = [
+    "SessionRuntime",
+    "ensure_runtime",
+    "zero_demand_reference",
+    "_session_worker_init",
+    "_session_worker_run",
+]

@@ -1,0 +1,133 @@
+"""Tests for ECO netlist deltas and the perturbation generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.delta import NetlistDelta
+from repro.netlist.generator import (
+    ECO_PRESETS,
+    PerturbSpec,
+    perturb_design,
+)
+from repro.netlist.net import Net, Netlist, Pin
+
+from tests.conftest import make_net
+
+
+def base_netlist() -> Netlist:
+    return Netlist(
+        [
+            make_net("a", [(1, 1, 0), (4, 4, 0)]),
+            make_net("b", [(2, 2, 0), (6, 3, 1)]),
+            make_net("c", [(0, 5, 0), (5, 0, 0)]),
+        ]
+    )
+
+
+class TestNetlistDelta:
+    def test_apply_preserves_base_order(self):
+        netlist = base_netlist()
+        delta = NetlistDelta(
+            removed=("b",),
+            added=(make_net("z", [(1, 0, 0), (3, 3, 0)]),),
+            moved=(make_net("c", [(1, 5, 0), (5, 1, 0)]),),
+        )
+        edited = delta.apply(netlist)
+        assert [net.name for net in edited] == ["a", "c", "z"]
+        assert edited.by_name("c").pins[0] == Pin(1, 5, 0)
+        # The base netlist is untouched.
+        assert [net.name for net in netlist] == ["a", "b", "c"]
+        assert netlist.by_name("c").pins[0] == Pin(0, 5, 0)
+
+    def test_empty_delta(self):
+        delta = NetlistDelta()
+        assert delta.is_empty
+        edited = delta.apply(base_netlist())
+        assert [net.name for net in edited] == ["a", "b", "c"]
+
+    def test_groups_must_be_disjoint(self):
+        with pytest.raises(ValueError, match="appears in both"):
+            NetlistDelta(
+                removed=("a",),
+                moved=(make_net("a", [(0, 0, 0), (1, 1, 0)]),),
+            )
+
+    def test_validate_rejects_bad_edits(self):
+        netlist = base_netlist()
+        with pytest.raises(ValueError, match="unknown net"):
+            NetlistDelta(removed=("ghost",)).apply(netlist)
+        with pytest.raises(ValueError, match="unknown net"):
+            NetlistDelta(
+                moved=(make_net("ghost", [(0, 0, 0), (1, 1, 0)]),)
+            ).apply(netlist)
+        with pytest.raises(ValueError, match="existing net"):
+            NetlistDelta(
+                added=(make_net("a", [(0, 0, 0), (1, 1, 0)]),)
+            ).apply(netlist)
+
+    def test_affected_names(self):
+        delta = NetlistDelta(
+            removed=("b",),
+            added=(make_net("z", [(0, 0, 0), (1, 1, 0)]),),
+            moved=(make_net("a", [(1, 1, 0), (4, 5, 0)]),),
+        )
+        assert set(delta.affected_names()) == {"a", "b", "z"}
+
+    def test_dict_roundtrip(self):
+        delta = NetlistDelta(
+            removed=("b",),
+            added=(make_net("z", [(1, 0, 0), (3, 3, 2)]),),
+            moved=(make_net("c", [(1, 5, 0), (5, 1, 1)]),),
+        )
+        back = NetlistDelta.from_dict(delta.to_dict())
+        assert back.removed == delta.removed
+        assert [net.pins for net in back.added] == [
+            net.pins for net in delta.added
+        ]
+        assert [net.pins for net in back.moved] == [
+            net.pins for net in delta.moved
+        ]
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown delta fields"):
+            NetlistDelta.from_dict({"dropped": ["a"]})
+        with pytest.raises(ValueError, match="bad net entry"):
+            NetlistDelta.from_dict({"added": [{"name": "x"}]})
+
+
+class TestPerturbDesign:
+    def test_deterministic(self, small_design):
+        spec = ECO_PRESETS["small"]
+        d1 = perturb_design(small_design, spec, seed=3)
+        d2 = perturb_design(small_design, spec, seed=3)
+        assert d1.removed == d2.removed
+        assert [n.pins for n in d1.added] == [n.pins for n in d2.added]
+        assert [n.pins for n in d1.moved] == [n.pins for n in d2.moved]
+        d3 = perturb_design(small_design, spec, seed=4)
+        assert (
+            d1.removed != d3.removed
+            or [n.pins for n in d1.moved] != [n.pins for n in d3.moved]
+        )
+
+    @pytest.mark.parametrize("preset", sorted(ECO_PRESETS))
+    def test_presets_apply_cleanly(self, small_design, preset):
+        delta = perturb_design(small_design, ECO_PRESETS[preset], seed=1)
+        assert not delta.is_empty
+        edited = delta.apply(small_design.netlist)
+        nx, ny = small_design.graph.nx, small_design.graph.ny
+        for net in edited:
+            assert net.n_pins >= 2
+            for pin in net.pins:
+                assert 0 <= pin.x < nx and 0 <= pin.y < ny
+                assert 0 <= pin.layer < small_design.graph.n_layers
+
+    def test_moved_nets_keep_name_and_pin_count(self, small_design):
+        delta = perturb_design(small_design, ECO_PRESETS["small"], seed=2)
+        for net in delta.moved:
+            assert net.name in small_design.netlist
+            assert net.n_pins == small_design.netlist.by_name(net.name).n_pins
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError, match="move_fraction"):
+            PerturbSpec(move_fraction=1.5)

@@ -44,6 +44,11 @@ class TestExamples:
         assert "hpwl_asc" in out
         assert "Sorting schemes" in out
 
+    def test_service_quickstart(self):
+        out = run_example("service_quickstart.py", "18test5", "0.1")
+        assert "bit-identical" in out
+        assert "tasks replayed" in out
+
     def test_detailed_routing_eval(self):
         out = run_example("detailed_routing_eval.py", "18test5m", "0.1")
         assert "DR shorts" in out

@@ -48,6 +48,8 @@ class TestSubpackages:
             "repro.pattern",
             "repro.maze",
             "repro.sched",
+            "repro.session",
+            "repro.service",
             "repro.gpu",
             "repro.detail",
             "repro.eval",

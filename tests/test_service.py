@@ -1,0 +1,231 @@
+"""Tests of the job service and its HTTP front end."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import JobService, JobState, RoutingAPIServer
+from repro.session.store import SessionStore
+
+DESIGN = "18test5"
+SCALE = 0.1
+
+
+@pytest.fixture
+def service():
+    with JobService() as svc:
+        yield svc
+
+
+class TestJobLifecycle:
+    def test_route_job_runs_to_done(self, service):
+        job_id = service.submit(DESIGN, scale=SCALE)
+        result = service.wait(job_id, timeout=120)
+        snapshot = service.job(job_id)
+        assert snapshot["state"] == JobState.DONE
+        assert snapshot["started_at"] >= snapshot["submitted_at"]
+        assert result["score"] > 0
+        assert result["design"] == DESIGN
+
+    def test_unknown_job_raises(self, service):
+        with pytest.raises(KeyError):
+            service.job("job-999")
+        with pytest.raises(KeyError):
+            service.batch("batch-999")
+
+    def test_result_before_done_raises(self, service):
+        job_id = service.submit(DESIGN, scale=SCALE)
+        state = service.job(job_id)["state"]
+        if state in (JobState.SUBMITTED, JobState.RUNNING):
+            with pytest.raises(RuntimeError, match="is (submitted|running)"):
+                service.result(job_id)
+        service.wait(job_id, timeout=120)
+
+    def test_failed_job_reports_error(self, service):
+        job_id = service.submit("no-such-design", scale=SCALE)
+        with pytest.raises(RuntimeError, match="failed"):
+            service.wait(job_id, timeout=120)
+        assert service.job(job_id)["state"] == JobState.FAILED
+        assert "no-such-design" in service.job(job_id)["error"]
+
+    def test_invalid_submissions_fail_fast(self, service):
+        with pytest.raises(KeyError, match="unknown config"):
+            service.submit(DESIGN, config="turbo")
+        with pytest.raises(ValueError, match="exactly one"):
+            service.submit_eco(design=DESIGN)
+        with pytest.raises(KeyError, match="unknown ECO preset"):
+            service.submit_eco(design=DESIGN, preset="huge")
+        with pytest.raises(ValueError, match="job_id.*design|design"):
+            service.submit_eco(preset="tiny")
+
+    def test_shutdown_rejects_new_jobs(self):
+        svc = JobService()
+        svc.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            svc.submit(DESIGN, scale=SCALE)
+
+
+class TestBatchesAndProgress:
+    def test_batch_lifecycle(self, service):
+        batch_id = service.submit_batch(
+            [
+                {"design": DESIGN, "scale": SCALE},
+                {"design": DESIGN, "scale": SCALE, "seed": 2},
+            ]
+        )
+        snapshot = service.batch(batch_id)
+        assert snapshot["n_jobs"] == 2
+        for job in snapshot["jobs"]:
+            service.wait(job["job_id"], timeout=120)
+        done = service.batch(batch_id)
+        assert done["n_done"] == 2 and done["n_failed"] == 0
+
+    def test_progress_events_stream_iterations(self, service):
+        # A congested scaled design that needs rip-up iterations.
+        job_id = service.submit("18test10m", scale=0.15)
+        service.wait(job_id, timeout=300)
+        events = service.job(job_id)["events"]
+        iteration_events = [e for e in events if e["type"] == "iteration"]
+        assert iteration_events, "expected rip-up progress events"
+        assert iteration_events[0]["n_ripped"] > 0
+
+
+class TestEcoJobs:
+    def test_eco_after_route_verifies_bitwise(self, service):
+        base = service.submit(DESIGN, scale=SCALE)
+        service.wait(base, timeout=120)
+        eco = service.submit_eco(
+            job_id=base, preset="tiny", eco_seed=1, verify=True
+        )
+        result = service.wait(eco, timeout=300)
+        assert result["verified"] is True
+        assert result["eco"]["cache_hits"] > 0
+
+    def test_eco_on_cold_session_warms_first(self, service):
+        eco = service.submit_eco(
+            design=DESIGN, scale=SCALE, preset="tiny", eco_seed=2
+        )
+        result = service.wait(eco, timeout=300)
+        assert result["eco"]["reuse_fraction"] > 0
+        events = service.job(eco)["events"]
+        assert any(e["type"] == "warmup" for e in events)
+
+    def test_eco_with_explicit_delta(self, service):
+        base = service.submit(DESIGN, scale=SCALE)
+        service.wait(base, timeout=120)
+        session = next(iter(service.store._sessions.values()))
+        victim = session.netlist[0].name
+        eco = service.submit_eco(
+            job_id=base, delta={"removed": [victim]}, verify=True
+        )
+        result = service.wait(eco, timeout=300)
+        assert result["verified"] is True
+        assert result["eco"]["n_removed"] == 1
+
+
+class TestHTTPAPI:
+    @pytest.fixture
+    def server(self):
+        with RoutingAPIServer(
+            port=0, service=JobService(store=SessionStore(max_sessions=2))
+        ) as srv:
+            host, port = srv.address
+            yield f"http://{host}:{port}"
+
+    @staticmethod
+    def _get(url, expect_error=None):
+        try:
+            with urllib.request.urlopen(url) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            if expect_error is None:
+                raise
+            return err.code, json.loads(err.read())
+
+    @staticmethod
+    def _post(url, body):
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def _wait_done(self, base, job_id, timeout=300.0):
+        import time
+
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            _, snapshot = self._get(f"{base}/jobs/{job_id}")
+            if snapshot["state"] in (JobState.DONE, JobState.FAILED):
+                return snapshot
+            time.sleep(0.1)
+        raise TimeoutError(job_id)
+
+    def test_health_and_presets(self, server):
+        status, body = self._get(f"{server}/health")
+        assert status == 200 and body["ok"] is True
+        _, presets = self._get(f"{server}/presets")
+        assert "fastgr_l" in presets["configs"]
+        assert "tiny" in presets["eco_presets"]
+        assert DESIGN in presets["benchmarks"]
+
+    def test_route_then_eco_end_to_end(self, server):
+        status, accepted = self._post(
+            f"{server}/jobs", {"design": DESIGN, "scale": SCALE}
+        )
+        assert status == 202
+        job_id = accepted["job_id"]
+        assert self._wait_done(server, job_id)["state"] == JobState.DONE
+        status, result = self._get(f"{server}/jobs/{job_id}/result")
+        assert status == 200 and result["score"] > 0
+
+        status, accepted = self._post(
+            f"{server}/jobs/{job_id}/eco",
+            {"preset": "tiny", "eco_seed": 1, "verify": True},
+        )
+        assert status == 202
+        eco_id = accepted["job_id"]
+        assert self._wait_done(server, eco_id)["state"] == JobState.DONE
+        _, eco_result = self._get(f"{server}/jobs/{eco_id}/result")
+        assert eco_result["verified"] is True
+
+        _, sessions = self._get(f"{server}/sessions")
+        assert sessions["store"]["n_sessions"] >= 1
+        _, listing = self._get(f"{server}/jobs")
+        assert len(listing["jobs"]) == 2
+
+    def test_batch_endpoint(self, server):
+        status, accepted = self._post(
+            f"{server}/jobs",
+            {"batch": [{"design": DESIGN, "scale": SCALE},
+                       {"design": DESIGN, "scale": SCALE, "seed": 3}]},
+        )
+        assert status == 202
+        for job in accepted["jobs"]:
+            self._wait_done(server, job["job_id"])
+        _, batch = self._get(f"{server}/batches/{accepted['batch_id']}")
+        assert batch["n_done"] == 2
+
+    def test_error_statuses(self, server):
+        status, body = self._get(
+            f"{server}/jobs/job-404", expect_error=True
+        )
+        assert status == 404 and "unknown job" in body["error"]
+        status, _ = self._get(f"{server}/nope", expect_error=True)
+        assert status == 404
+        status, body = self._post(f"{server}/jobs", {"design": DESIGN,
+                                                     "config": "turbo"})
+        assert status == 404  # unknown preset surfaces as KeyError
+        status, body = self._post(
+            f"{server}/jobs/job-404/eco", {"preset": "tiny"}
+        )
+        assert status == 404
