@@ -80,6 +80,10 @@ class ArrayBackend(abc.ABC):
         """Broadcasted ``a - b``."""
 
     @abc.abstractmethod
+    def multiply(self, a: Array, b: Array) -> Array:
+        """Broadcasted ``a * b``."""
+
+    @abc.abstractmethod
     def minimum(self, a: Array, b: Array) -> Array:
         """Broadcasted elementwise minimum."""
 
@@ -108,8 +112,21 @@ class ArrayBackend(abc.ABC):
         """Broadcasted ``a >= b`` (bool array)."""
 
     @abc.abstractmethod
+    def equal(self, a: Array, b: Array) -> Array:
+        """Broadcasted ``a == b`` (bool array).
+
+        IEEE semantics: ``inf == inf`` is True, any comparison with NaN
+        is False — the stacked wavefront convergence test relies on
+        both.
+        """
+
+    @abc.abstractmethod
     def logical_and(self, a: Array, b: Array) -> Array:
         """Broadcasted boolean conjunction."""
+
+    @abc.abstractmethod
+    def logical_or(self, a: Array, b: Array) -> Array:
+        """Broadcasted boolean disjunction."""
 
     @abc.abstractmethod
     def isfinite(self, a: Array) -> Array:
@@ -150,6 +167,24 @@ class ArrayBackend(abc.ABC):
     @abc.abstractmethod
     def shape(self, a: Array) -> Tuple[int, ...]:
         """Return the shape tuple of a device array."""
+
+    @abc.abstractmethod
+    def nbytes(self, a: Array) -> int:
+        """Return the payload size of a device array in bytes.
+
+        The transfer-accounting proxy: ``asarray``/``to_numpy``/
+        ``copyto`` move this many bytes across the host/device seam
+        (zero *wall-clock* bytes on ``device_is_host`` backends, where
+        the count still measures would-be traffic).
+        """
+
+    @abc.abstractmethod
+    def copyto(self, dst: Array, src: Any) -> None:
+        """Copy ``src`` (host data or device array) into ``dst`` in place.
+
+        Shapes must match exactly — this is the buffer-reuse seam for
+        preallocated device scratch (no reallocation per upload).
+        """
 
     # ------------------------------------------------------------------ #
     # Reductions and scans

@@ -52,6 +52,9 @@ class CupyBackend(ArrayBackend):
     def subtract(self, a, b):
         return cp.subtract(a, b)
 
+    def multiply(self, a, b):
+        return cp.multiply(a, b)
+
     def minimum(self, a, b):
         return cp.minimum(a, b)
 
@@ -73,8 +76,14 @@ class CupyBackend(ArrayBackend):
     def greater_equal(self, a, b):
         return cp.greater_equal(a, b)
 
+    def equal(self, a, b):
+        return cp.equal(a, b)
+
     def logical_and(self, a, b):
         return cp.logical_and(a, b)
+
+    def logical_or(self, a, b):
+        return cp.logical_or(a, b)
 
     def isfinite(self, a):
         return cp.isfinite(a)
@@ -99,6 +108,17 @@ class CupyBackend(ArrayBackend):
 
     def shape(self, a) -> Tuple[int, ...]:
         return tuple(a.shape)
+
+    def nbytes(self, a) -> int:
+        return int(cp.asarray(a).nbytes)
+
+    def copyto(self, dst, src) -> None:
+        src = cp.asarray(src)
+        if tuple(dst.shape) != tuple(src.shape):
+            raise ValueError(
+                f"copyto shape mismatch {tuple(dst.shape)} vs {tuple(src.shape)}"
+            )
+        cp.copyto(dst, src)
 
     def min_argmin(self, a, axis: int):
         a = cp.asarray(a)

@@ -50,6 +50,9 @@ class NumpyBackend(ArrayBackend):
     def subtract(self, a, b):
         return np.subtract(a, b)
 
+    def multiply(self, a, b):
+        return np.multiply(a, b)
+
     def minimum(self, a, b):
         return np.minimum(a, b)
 
@@ -71,8 +74,14 @@ class NumpyBackend(ArrayBackend):
     def greater_equal(self, a, b):
         return np.greater_equal(a, b)
 
+    def equal(self, a, b):
+        return np.equal(a, b)
+
     def logical_and(self, a, b):
         return np.logical_and(a, b)
+
+    def logical_or(self, a, b):
+        return np.logical_or(a, b)
 
     def isfinite(self, a):
         return np.isfinite(a)
@@ -100,6 +109,15 @@ class NumpyBackend(ArrayBackend):
 
     def shape(self, a) -> Tuple[int, ...]:
         return np.shape(a)
+
+    def nbytes(self, a) -> int:
+        return int(np.asarray(a).nbytes)
+
+    def copyto(self, dst, src) -> None:
+        src = np.asarray(src)
+        if np.shape(dst) != src.shape:
+            raise ValueError(f"copyto shape mismatch {np.shape(dst)} vs {src.shape}")
+        np.copyto(dst, src)
 
     # ------------------------------------------------------------------ #
     # Reductions / scans

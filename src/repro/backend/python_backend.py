@@ -179,6 +179,9 @@ class PythonBackend(ArrayBackend):
     def subtract(self, a, b):
         return self._binary(a, b, lambda x, y: x - y)
 
+    def multiply(self, a, b):
+        return self._binary(a, b, lambda x, y: x * y)
+
     def minimum(self, a, b):
         return self._binary(a, b, lambda x, y: x if x < y else y)
 
@@ -209,8 +212,14 @@ class PythonBackend(ArrayBackend):
     def greater_equal(self, a, b):
         return self._binary(a, b, lambda x, y: x >= y, dtype="bool")
 
+    def equal(self, a, b):
+        return self._binary(a, b, lambda x, y: x == y, dtype="bool")
+
     def logical_and(self, a, b):
         return self._binary(a, b, lambda x, y: bool(x and y), dtype="bool")
+
+    def logical_or(self, a, b):
+        return self._binary(a, b, lambda x, y: bool(x or y), dtype="bool")
 
     def isfinite(self, a):
         a = self._coerce(a)
@@ -262,6 +271,19 @@ class PythonBackend(ArrayBackend):
 
     def shape(self, a) -> Tuple[int, ...]:
         return self._coerce(a).shape
+
+    def nbytes(self, a) -> int:
+        a = self._coerce(a)
+        # mirror NumPy payload sizes (float64/intp = 8 bytes, bool = 1)
+        return len(a.data) * (1 if a.dtype == "bool" else 8)
+
+    def copyto(self, dst, src) -> None:
+        if not isinstance(dst, NDArray):
+            raise TypeError("copyto destination must be a device NDArray")
+        src = self.asarray(src, dtype=dst.dtype)
+        if src.shape != dst.shape:
+            raise ValueError(f"copyto shape mismatch {dst.shape} vs {src.shape}")
+        dst.data[:] = src.data
 
     # ------------------------------------------------------------------ #
     # Reductions / scans

@@ -68,6 +68,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         overrides["n_workers"] = args.workers
     if args.maze_engine is not None:
         overrides["maze_engine"] = args.maze_engine
+    if args.maze_batching is not None:
+        overrides["maze_batching"] = args.maze_batching
     if args.cost_engine is not None:
         overrides["cost_engine"] = args.cost_engine
     config = _PRESETS[args.config](**overrides)
@@ -234,6 +236,15 @@ def build_parser() -> argparse.ArgumentParser:
         "the scalar heap search, 'wavefront' computes the same "
         "shortest-path distances as batched sweeps on the array "
         "backend (default: the preset's choice)",
+    )
+    route.add_argument(
+        "--maze-batching", action=argparse.BooleanOptionalAction,
+        default=None,
+        help="fuse each conflict-free level of the reroute task graph "
+        "into one stacked wavefront relaxation instead of per-net "
+        "launches; bit-identical to per-net dispatch, only effective "
+        "with --maze-engine wavefront (default: the preset's choice, "
+        "which is on)",
     )
     route.add_argument(
         "--cost-engine", choices=COST_ENGINES, default=None,

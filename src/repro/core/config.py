@@ -65,6 +65,13 @@ class RouterConfig:
     # array backend (faster on large congested regions).
     maze_engine: str = "dijkstra"
     maze_margin: int = 6
+    # Batched maze dispatch: relax every conflict-free dependency level
+    # of the reroute task graph as ONE stacked (B, L, nx, ny) sweep
+    # instead of per-net launches.  Only effective for engines that
+    # support stacked search (the wavefront engine) under the ordered
+    # and threaded policies; bit-identical to per-net dispatch by
+    # construction, so the default is on.
+    maze_batching: bool = True
     # Cost-snapshot maintenance: "incremental" drains the grid's
     # dirty-rect log and patches only affected prefix suffixes;
     # "full" recomputes everything each rebuild (the bit-identical

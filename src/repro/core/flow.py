@@ -366,11 +366,13 @@ class RerouteStage(ScheduledStage):
         ordered_nets: List[Net],
         margin: int,
         cache=None,
+        batching: bool = False,
     ) -> None:
         self.engine = engine
         self.routes = routes
         self.ordered_nets = ordered_nets
         self._cache = cache
+        self._batching = batching
         graph = engine.graph
         # The footprint is the maze *search region*, not just the
         # bounding box: everything the task reads or writes lives there.
@@ -406,6 +408,29 @@ class RerouteStage(ScheduledStage):
             self.n_failed += 1
         else:
             self.routes[self.ordered_nets[task].name] = result
+
+    # ------------------------------------------------------------------ #
+    # Batched dispatch (stacked multi-net relaxation)
+    # ------------------------------------------------------------------ #
+    def batch_plan(self, schedule) -> Optional[List[List[int]]]:
+        """Dispatch the task graph's dependency levels as stacked batches.
+
+        Only when batching is enabled and the maze engine supports it.
+        Levels are conflict-free and their order is a linear extension
+        of the DAG, so the runner's group execution commits conflicting
+        nets in exactly the ordered policy's order — bit-identical
+        results (the stacked search itself is per-member bit-identical).
+        """
+        if not (self._batching and self.engine.supports_batch):
+            return None
+        return schedule.task_graph.levels()
+
+    def run_batch(self, tasks: Sequence[int]) -> Dict[int, Optional[Route]]:
+        names = [self.ordered_nets[task].name for task in tasks]
+        found = self.engine.rip_and_reroute_batch(
+            self.routes, names, cache=self._cache
+        )
+        return {task: found[name] for task, name in zip(tasks, names)}
 
     # ------------------------------------------------------------------ #
     # "processes" policy
@@ -609,12 +634,25 @@ def run_rrr_stage(
                 cached_key = key
 
             stage = RerouteStage(
-                engine, routes, ordered_nets, config.maze_margin, cache=cache
+                engine,
+                routes,
+                ordered_nets,
+                config.maze_margin,
+                cache=cache,
+                batching=config.maze_batching,
             )
             visited_before = engine.nodes_visited
             cost_before = engine.cost_engine_stats()
+            tracker_before = engine.tracker.snapshot()
+            n_launches_before = len(device.launches) if device is not None else 0
             report = runner.run(stage, schedule=schedule)
             cost_delta = engine.cost_engine_stats().delta(cost_before)
+            # Fold this iteration's kernel-launch records (with their
+            # attributed transfer bytes) into the tracker bus, then
+            # slice the monotone totals into per-iteration figures.
+            if device is not None:
+                engine.tally_launches(device.launches[n_launches_before:])
+            counter_delta, _ = engine.tracker.delta(tracker_before)
             iterations.append(
                 IterationStats(
                     iteration=iteration,
@@ -629,6 +667,13 @@ def run_rrr_stage(
                     cost_rebuilds=cost_delta.rebuilds,
                     cost_refreshed_edges=cost_delta.refreshed_edges,
                     cost_time=cost_delta.seconds,
+                    maze_batches=counter_delta.get("maze.batches", 0),
+                    batched_nets=counter_delta.get("maze.batched_nets", 0),
+                    kernel_launches=counter_delta.get(
+                        "maze.kernel_launches", 0
+                    ),
+                    bytes_to_device=counter_delta.get("maze.bytes_to_device", 0),
+                    bytes_to_host=counter_delta.get("maze.bytes_to_host", 0),
                     report=report,
                 )
             )

@@ -44,6 +44,17 @@ class IterationStats:
     cost_rebuilds: int = 0
     cost_refreshed_edges: int = 0
     cost_time: float = 0.0
+    # Batched maze dispatch this iteration: stacked relaxations run and
+    # how many nets they fused (0/0 under per-net dispatch).
+    maze_batches: int = 0
+    batched_nets: int = 0
+    # Device traffic this iteration (wavefront engine with an attached
+    # device): kernel launches and the host<->device bytes attributed to
+    # them.  On a device_is_host backend the bytes are the would-be
+    # traffic — the residency metric the paper's Fig. 9 motivates.
+    kernel_launches: int = 0
+    bytes_to_device: int = 0
+    bytes_to_host: int = 0
     # Full pipeline execution record (policy, timeline, schedule).
     report: Optional[StageReport] = None
 
@@ -107,6 +118,16 @@ class RoutingResult:
         return sum(it.nodes_visited for it in self.iterations)
 
     @property
+    def maze_batches(self) -> int:
+        """Total stacked maze dispatches across all iterations."""
+        return sum(it.maze_batches for it in self.iterations)
+
+    @property
+    def maze_batched_nets(self) -> int:
+        """Total nets routed through stacked dispatches."""
+        return sum(it.batched_nets for it in self.iterations)
+
+    @property
     def maze_time_taskgraph(self) -> float:
         """Modelled parallel MAZE seconds under the task-graph scheduler."""
         return sum(it.taskgraph_makespan for it in self.iterations)
@@ -136,6 +157,8 @@ class RoutingResult:
             "total_time": self.total_time,
             "nets_to_ripup": float(self.nets_to_ripup),
             "maze_nodes_visited": float(self.maze_nodes_visited),
+            "maze_batches": float(self.maze_batches),
+            "maze_batched_nets": float(self.maze_batched_nets),
         }
         if self.pattern_report is not None:
             data["pattern_tasks"] = float(self.pattern_report.n_tasks)

@@ -77,6 +77,8 @@ def route_design(
             "simulated_gpu_time": device.simulated_gpu_time(),
             "simulated_sequential_time": device.simulated_sequential_time(),
             "simulated_speedup": device.simulated_speedup(),
+            "bytes_to_device": float(device.total_bytes_to_device),
+            "bytes_to_host": float(device.total_bytes_to_host),
             **{
                 f"elements_{kernel}": float(count)
                 for kernel, count in device.per_kernel_elements().items()

@@ -20,7 +20,7 @@ measured separately in ``benchmarks/bench_kernel_speedup.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.gpu.simt import KernelLaunch
 
@@ -48,11 +48,23 @@ class Device:
     spec: DeviceSpec = field(default_factory=DeviceSpec)
     launches: List[KernelLaunch] = field(default_factory=list)
 
-    def launch(self, name: str, n_blocks: int, threads_per_block: int, elements: int) -> float:
+    def launch(
+        self,
+        name: str,
+        n_blocks: int,
+        threads_per_block: int,
+        elements: int,
+        bytes_to_device: int = 0,
+        bytes_to_host: int = 0,
+    ) -> float:
         """Record a kernel launch; return its simulated elapsed seconds."""
         if n_blocks <= 0 or elements < 0:
             raise ValueError("launch must have positive blocks and non-negative work")
-        record = KernelLaunch(name, n_blocks, threads_per_block, elements)
+        if bytes_to_device < 0 or bytes_to_host < 0:
+            raise ValueError("launch transfer bytes must be non-negative")
+        record = KernelLaunch(
+            name, n_blocks, threads_per_block, elements, bytes_to_device, bytes_to_host
+        )
         self.launches.append(record)
         return self._kernel_time(record)
 
@@ -99,12 +111,33 @@ class Device:
             return 1.0
         return self.simulated_sequential_time() / gpu
 
+    @property
+    def total_bytes_to_device(self) -> int:
+        """Host-to-device bytes attributed to kernel scopes."""
+        return sum(launch.bytes_to_device for launch in self.launches)
+
+    @property
+    def total_bytes_to_host(self) -> int:
+        """Device-to-host bytes attributed to kernel scopes."""
+        return sum(launch.bytes_to_host for launch in self.launches)
+
     def per_kernel_elements(self) -> Dict[str, int]:
         """Return element counts grouped by kernel name."""
         counts: Dict[str, int] = {}
         for launch in self.launches:
             counts[launch.name] = counts.get(launch.name, 0) + launch.elements
         return counts
+
+    def per_kernel_transfers(self) -> Dict[str, Tuple[int, int]]:
+        """Return ``(bytes_to_device, bytes_to_host)`` per kernel name."""
+        totals: Dict[str, Tuple[int, int]] = {}
+        for launch in self.launches:
+            h2d, d2h = totals.get(launch.name, (0, 0))
+            totals[launch.name] = (
+                h2d + launch.bytes_to_device,
+                d2h + launch.bytes_to_host,
+            )
+        return totals
 
     def reset(self) -> None:
         """Forget all recorded launches."""

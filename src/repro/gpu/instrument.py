@@ -20,15 +20,22 @@ Counting rules (per op, in scalar element steps):
 * reductions and scans (``min_argmin``, ``cumsum``, ``cummin``) and
   ``scatter_add`` count their **input/source** size — every input
   element is touched once;
-* construction, shape and transfer ops (``asarray``, ``to_numpy``,
-  ``full``, ``zeros``, ``arange``, ``expand_dims``, ``reshape``,
-  ``flip``, ``shape``) count zero — they are layout/transfer, not
-  compute, and transfers are accounted separately by the
-  :class:`ZeroCopyArena`.
+* construction and shape ops (``full``, ``zeros``, ``arange``,
+  ``expand_dims``, ``reshape``, ``flip``, ``shape``, ``nbytes``) count
+  zero element steps — they are layout, not compute;
+* the seam-crossing ops are metered in **bytes** instead of elements:
+  ``asarray``/``copyto`` add their payload to the host-to-device
+  tally, ``to_numpy`` to the device-to-host tally.  On a
+  ``device_is_host`` backend no wall-clock copy happens, but the tally
+  still measures the would-be traffic — that proxy is exactly what the
+  device-residency tests assert on ("this scope moved zero plane
+  bytes").  A ``kernel(...)`` scope attributes the byte deltas it
+  bracketed to its :class:`KernelLaunch` record.
 
 Work performed outside any ``kernel`` scope (for example the cost
-model's prefix-sum rebuild) accumulates in ``unattributed_elements``
-and is never turned into a launch record.
+model's prefix-sum rebuild) accumulates in ``unattributed_elements`` /
+``unattributed_bytes_to_device`` / ``unattributed_bytes_to_host`` and
+is never turned into a launch record.
 """
 
 from __future__ import annotations
@@ -53,6 +60,10 @@ class InstrumentedBackend(ArrayBackend):
         self.device_is_host = inner.device_is_host
         self._counter = 0
         self._flushed = 0
+        self._bytes_to_device = 0
+        self._bytes_to_host = 0
+        self._flushed_to_device = 0
+        self._flushed_to_host = 0
 
     # ------------------------------------------------------------------ #
     # Metering
@@ -66,24 +77,60 @@ class InstrumentedBackend(ArrayBackend):
         """Element work performed outside any ``kernel`` scope so far."""
         return self._counter - self._flushed
 
+    @property
+    def bytes_to_device_total(self) -> int:
+        """All host-to-device bytes metered so far (attributed or not)."""
+        return self._bytes_to_device
+
+    @property
+    def bytes_to_host_total(self) -> int:
+        """All device-to-host bytes metered so far (attributed or not)."""
+        return self._bytes_to_host
+
+    @property
+    def unattributed_bytes_to_device(self) -> int:
+        """Upload bytes metered outside any ``kernel`` scope so far."""
+        return self._bytes_to_device - self._flushed_to_device
+
+    @property
+    def unattributed_bytes_to_host(self) -> int:
+        """Download bytes metered outside any ``kernel`` scope so far."""
+        return self._bytes_to_host - self._flushed_to_host
+
     @contextmanager
     def kernel(self, name: str, n_blocks: int, threads_per_block: int) -> Iterator[None]:
         """Bracket a batch of ops and flush their tally as one launch."""
         start = self._counter
+        h2d_start = self._bytes_to_device
+        d2h_start = self._bytes_to_host
         try:
             yield
         finally:
             elements = self._counter - start
+            h2d = self._bytes_to_device - h2d_start
+            d2h = self._bytes_to_host - d2h_start
             self._flushed += elements
-            self.device.launch(name, n_blocks, threads_per_block, elements)
+            self._flushed_to_device += h2d
+            self._flushed_to_host += d2h
+            self.device.launch(
+                name,
+                n_blocks,
+                threads_per_block,
+                elements,
+                bytes_to_device=h2d,
+                bytes_to_host=d2h,
+            )
 
     # ------------------------------------------------------------------ #
-    # Construction / transfer — zero cost
+    # Construction / transfer — zero element cost, bytes metered
     # ------------------------------------------------------------------ #
     def asarray(self, data: Any, dtype: str = "float"):
-        return self.inner.asarray(data, dtype)
+        result = self.inner.asarray(data, dtype)
+        self._bytes_to_device += self.inner.nbytes(result)
+        return result
 
     def to_numpy(self, a):
+        self._bytes_to_host += self.inner.nbytes(a)
         return self.inner.to_numpy(a)
 
     def full(self, shape: Sequence[int], value: float):
@@ -107,6 +154,13 @@ class InstrumentedBackend(ArrayBackend):
     def shape(self, a) -> Tuple[int, ...]:
         return self.inner.shape(a)
 
+    def nbytes(self, a) -> int:
+        return self.inner.nbytes(a)
+
+    def copyto(self, dst, src) -> None:
+        self.inner.copyto(dst, src)
+        self._bytes_to_device += self.inner.nbytes(dst)
+
     # ------------------------------------------------------------------ #
     # Elementwise — count output size
     # ------------------------------------------------------------------ #
@@ -115,6 +169,9 @@ class InstrumentedBackend(ArrayBackend):
 
     def subtract(self, a, b):
         return self._count(self.inner.subtract(a, b))
+
+    def multiply(self, a, b):
+        return self._count(self.inner.multiply(a, b))
 
     def minimum(self, a, b):
         return self._count(self.inner.minimum(a, b))
@@ -137,8 +194,14 @@ class InstrumentedBackend(ArrayBackend):
     def greater_equal(self, a, b):
         return self._count(self.inner.greater_equal(a, b))
 
+    def equal(self, a, b):
+        return self._count(self.inner.equal(a, b))
+
     def logical_and(self, a, b):
         return self._count(self.inner.logical_and(a, b))
+
+    def logical_or(self, a, b):
+        return self._count(self.inner.logical_or(a, b))
 
     def isfinite(self, a):
         return self._count(self.inner.isfinite(a))

@@ -29,12 +29,22 @@ class KernelLaunch:
         Total elementwise operations performed across the launch; this
         is also the work a sequential scalar CPU implementation would
         execute one element at a time.
+    bytes_to_device:
+        Host-to-device bytes transferred inside this launch's scope
+        (``asarray``/``copyto`` uploads).  On a ``device_is_host``
+        backend these are *would-be* bytes: the seam-crossing proxy the
+        residency tests assert on.
+    bytes_to_host:
+        Device-to-host bytes transferred inside this launch's scope
+        (``to_numpy`` downloads), same proxy semantics.
     """
 
     name: str
     n_blocks: int
     threads_per_block: int
     elements: int
+    bytes_to_device: int = 0
+    bytes_to_host: int = 0
 
     @property
     def total_threads(self) -> int:

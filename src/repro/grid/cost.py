@@ -319,7 +319,7 @@ class CostQuery:
 
     def _rebuild_full(self, boxes, reference) -> None:
         """The from-scratch oracle: fresh arrays, full recompute."""
-        graph, model, xp = self.graph, self.model, self.backend
+        graph, model = self.graph, self.model
         nx, ny, n_layers = graph.nx, graph.ny, self.n_layers
         if boxes is None:
             self.wire_cost = [
@@ -369,20 +369,25 @@ class CostQuery:
         via_edge[1:] = self.via_cost
 
         if boxes is None:
-            self._h_prefix_dev = xp.cumsum(xp.asarray(h_edge), axis=1)
-            self._v_prefix_dev = xp.cumsum(xp.asarray(v_edge), axis=2)
-            self._via_prefix_dev = xp.cumsum(xp.asarray(via_edge), axis=0)
-            if xp.device_is_host:
-                # The device arrays *are* host NumPy arrays — reuse them
-                # as the host twins instead of round-tripping through
-                # to_numpy.
-                self._h_prefix = self._h_prefix_dev
-                self._v_prefix = self._v_prefix_dev
-                self._via_prefix = self._via_prefix_dev
-            else:
-                self._h_prefix = xp.to_numpy(self._h_prefix_dev)
-                self._v_prefix = xp.to_numpy(self._v_prefix_dev)
-                self._via_prefix = xp.to_numpy(self._via_prefix_dev)
+            # Host-side scans feed both twins: the device twin is a
+            # (buffer-reusing) upload of the host result — no
+            # device-to-host round-trip, and steady-state rebuilds on a
+            # non-device_is_host backend allocate no fresh device
+            # planes (see _upload_prefix).  Host np.cumsum and the
+            # backend's cumsum are bit-identical by the backend
+            # contract, so the twins stay exact copies.
+            self._h_prefix = np.cumsum(h_edge, axis=1)
+            self._v_prefix = np.cumsum(v_edge, axis=2)
+            self._via_prefix = np.cumsum(via_edge, axis=0)
+            self._h_prefix_dev = self._upload_prefix(
+                self._h_prefix_dev, self._h_prefix
+            )
+            self._v_prefix_dev = self._upload_prefix(
+                self._v_prefix_dev, self._v_prefix
+            )
+            self._via_prefix_dev = self._upload_prefix(
+                self._via_prefix_dev, self._via_prefix
+            )
         else:
             # Per-box seeded wire prefixes (docstring): reference prefix
             # everywhere, then one anchored in-box scan per box.  Via
@@ -397,9 +402,15 @@ class CostQuery:
                     rect = self._box_wire_rect(layer, box)
                     if rect is not None:
                         self._seed_wire_prefix(layer, rect, h_edge, v_edge)
-            self._h_prefix_dev = xp.asarray(self._h_prefix)
-            self._v_prefix_dev = xp.asarray(self._v_prefix)
-            self._via_prefix_dev = xp.asarray(self._via_prefix)
+            self._h_prefix_dev = self._upload_prefix(
+                self._h_prefix_dev, self._h_prefix
+            )
+            self._v_prefix_dev = self._upload_prefix(
+                self._v_prefix_dev, self._v_prefix
+            )
+            self._via_prefix_dev = self._upload_prefix(
+                self._via_prefix_dev, self._via_prefix
+            )
 
         if boxes is None:
             self.stats.full_rebuilds += 1
@@ -411,6 +422,24 @@ class CostQuery:
         self.stats.refreshed_wire_edges += wire_n
         self.stats.refreshed_via_edges += via_n
         self.last_upload_bytes = (wire_n + via_n) * self.via_cost.itemsize
+
+    def _upload_prefix(self, dev, host: np.ndarray):
+        """Return the device twin of prefix plane ``host``.
+
+        On a ``device_is_host`` backend the host array *is* the twin
+        (aliased, so in-place host patches stay visible for free).  On
+        a real device backend the first upload (or a grid-shape change)
+        allocates; every later rebuild copies in place into the
+        existing plane through ``copyto`` — steady-state rebuilds
+        allocate no device memory.
+        """
+        xp = self.backend
+        if xp.device_is_host:
+            return host
+        if dev is not None and xp.shape(dev) == tuple(host.shape):
+            xp.copyto(dev, host)
+            return dev
+        return xp.asarray(host)
 
     # -- masked-mode prefix primitives (shared by both engines) --------- #
     def _ensure_reference_prefixes(self, reference) -> None:
@@ -871,10 +900,15 @@ class CostQuery:
         """Make the device prefix twins current (flush + upload)."""
         self._flush_if_dirty()
         if self._dev_stale:
-            xp = self.backend
-            self._h_prefix_dev = xp.asarray(self._h_prefix)
-            self._v_prefix_dev = xp.asarray(self._v_prefix)
-            self._via_prefix_dev = xp.asarray(self._via_prefix)
+            self._h_prefix_dev = self._upload_prefix(
+                self._h_prefix_dev, self._h_prefix
+            )
+            self._v_prefix_dev = self._upload_prefix(
+                self._v_prefix_dev, self._v_prefix
+            )
+            self._via_prefix_dev = self._upload_prefix(
+                self._via_prefix_dev, self._via_prefix
+            )
             self._dev_stale = False
 
     def sync(self) -> None:

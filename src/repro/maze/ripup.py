@@ -34,6 +34,7 @@ from repro.grid.graph import GridGraph
 from repro.grid.route import Route
 from repro.maze.router import MazeRouter, MazeRoutingError
 from repro.netlist.net import Net
+from repro.utils.timing import Tracker
 
 OverflowMasks = Tuple[List[np.ndarray], np.ndarray]
 
@@ -196,6 +197,11 @@ class RipupReroute:
         #: worker threads; monotone — snapshot before/after an
         #: iteration to attribute counts per iteration).
         self.nodes_visited = 0
+        #: Counters/timers bus: monotone "maze.*" counters (nets,
+        #: batches, batched nets, visited, kernel launches, transfer
+        #: bytes) that ``run_rrr_stage`` snapshots around an iteration
+        #: to fill :class:`IterationStats`.
+        self.tracker = Tracker()
         # --- "processes" policy state (see ensure_process_pool) ------- #
         self._pool = None
         self._arena = None
@@ -237,6 +243,11 @@ class RipupReroute:
             with self._visited_lock:
                 self._routers.append(maze)
         return maze
+
+    @property
+    def supports_batch(self) -> bool:
+        """True when the maze engine exposes a stacked ``route_batch``."""
+        return getattr(self.maze, "supports_batch", False)
 
     def cost_engine_stats(self) -> "CostEngineStats":
         """Aggregate cost-engine counters over every worker's router.
@@ -335,6 +346,24 @@ class RipupReroute:
             self._arena.unlink()
             self._arena = None
 
+    def tally_launches(self, launches) -> None:
+        """Fold kernel-launch/transfer records into the tracker bus."""
+        if not launches:
+            return
+        tracker = self.tracker
+        tracker.get_counter("maze.kernel_launches").increment(len(launches))
+        tracker.get_counter("maze.bytes_to_device").increment(
+            sum(launch.bytes_to_device for launch in launches)
+        )
+        tracker.get_counter("maze.bytes_to_host").increment(
+            sum(launch.bytes_to_host for launch in launches)
+        )
+
+    def _fold_visited(self, visited: int) -> None:
+        with self._visited_lock:
+            self.nodes_visited += visited
+        self.tracker.get_counter("maze.visited").increment(visited)
+
     def rip_and_reroute(
         self, routes: Dict[str, Route], name: str
     ) -> Optional[Route]:
@@ -349,17 +378,95 @@ class RipupReroute:
         old_route = routes[name]
         old_route.uncommit(self.graph)
         maze = self.maze
+        self.tracker.get_counter("maze.nets").increment()
         try:
-            new_route = maze.route_net(net)
+            with self.tracker.get_timer("maze.search").time():
+                new_route = maze.route_net(net)
         except MazeRoutingError:
             old_route.commit(self.graph)
             return None
         finally:
-            visited = maze.consume_visited()
-            with self._visited_lock:
-                self.nodes_visited += visited
+            self._fold_visited(maze.consume_visited())
         new_route.commit(self.graph)
         return new_route
+
+    def rip_and_reroute_batch(
+        self,
+        routes: Dict[str, Route],
+        names: List[str],
+        cache=None,
+    ) -> Dict[str, Optional[Route]]:
+        """Rip up and reroute a conflict-free group as one stacked batch.
+
+        Equivalent to calling :meth:`rip_and_reroute` (or the cached
+        variant) for each name in order — bit-identical, because the
+        group's search regions are pairwise disjoint: ripping all
+        members first leaves each member's in-region demand exactly as
+        the sequential interleaving would, cache keys hash the same
+        in-region demand, and the stacked search itself is bit-identical
+        per member (see :meth:`WavefrontMazeRouter.route_batch`).  On a
+        per-member failure that member's old route is restored and its
+        result is None.  Demand commits happen here; the caller owns
+        updating ``routes``.
+        """
+        graph = self.graph
+        old: Dict[str, Route] = {}
+        for name in names:
+            old[name] = routes[name]
+            routes[name].uncommit(graph)
+
+        results: Dict[str, Optional[Route]] = {}
+        keys: Dict[str, object] = {}
+        to_search: List[str] = []
+        if cache is not None:
+            from repro.session.cache import demand_signature, maze_task_key
+
+            for name in names:
+                net = self.nets[name]
+                region = net.bbox.expanded(self.margin).clipped(graph.nx, graph.ny)
+                key = maze_task_key(
+                    net, region.as_tuple(), demand_signature(graph, [region])
+                )
+                keys[name] = key
+                hit, cached = cache.get(key)
+                if hit:
+                    # Commits stay inside the member's own region, so
+                    # they cannot perturb the batch mates' searches.
+                    if cached is None:
+                        old[name].commit(graph)
+                        results[name] = None
+                    else:
+                        cached.commit(graph)
+                        results[name] = cached
+                else:
+                    to_search.append(name)
+        else:
+            to_search = list(names)
+
+        if to_search:
+            maze = self.maze
+            tracker = self.tracker
+            tracker.get_counter("maze.nets").increment(len(to_search))
+            tracker.get_counter("maze.batches").increment()
+            tracker.get_counter("maze.batched_nets").increment(len(to_search))
+            try:
+                with tracker.get_timer("maze.batch_search").time():
+                    found = maze.route_batch([self.nets[n] for n in to_search])
+            finally:
+                self._fold_visited(maze.consume_visited())
+            for name in to_search:
+                new_route = found[name]
+                if new_route is None:
+                    old[name].commit(graph)
+                    if cache is not None:
+                        cache.put(keys[name], None)
+                    results[name] = None
+                else:
+                    new_route.commit(graph)
+                    if cache is not None:
+                        cache.put(keys[name], new_route)
+                    results[name] = new_route
+        return results
 
     def rip_and_reroute_cached(
         self, routes: Dict[str, Route], name: str, cache
@@ -393,16 +500,16 @@ class RipupReroute:
             cached.commit(self.graph)
             return cached
         maze = self.maze
+        self.tracker.get_counter("maze.nets").increment()
         try:
-            new_route = maze.route_net(net)
+            with self.tracker.get_timer("maze.search").time():
+                new_route = maze.route_net(net)
         except MazeRoutingError:
             old_route.commit(self.graph)
             cache.put(key, None)
             return None
         finally:
-            visited = maze.consume_visited()
-            with self._visited_lock:
-                self.nodes_visited += visited
+            self._fold_visited(maze.consume_visited())
         new_route.commit(self.graph)
         cache.put(key, new_route)
         return new_route

@@ -52,6 +52,35 @@ class TaskGraph:
             raise ValueError("task graph contains a cycle")
         return order
 
+    def levels(self) -> List[List[int]]:
+        """Return tasks grouped by dependency depth, task-ID order inside.
+
+        ``levels()[k]`` holds the tasks whose longest predecessor chain
+        has ``k`` edges.  Two conflicting tasks always share an edge, so
+        they land on *different* levels — every level is conflict-free.
+        And because every edge strictly increases depth, executing the
+        levels in order (any order inside a level) is a linear extension
+        of the DAG, i.e. it commits conflicting tasks in exactly the
+        order the ``ordered`` policy would.  This is the dispatch unit
+        of the batched maze engine: one stacked relaxation per level.
+
+        Note the greedy Algorithm-1 batches do **not** have the second
+        property (a non-root task can be batched *before* a larger-ID
+        task it must follow), which is why batch dispatch rides levels
+        rather than the extraction batches.
+        """
+        depth = [0] * self.n_tasks
+        for task in self.topological_order():
+            for succ in self.successors[task]:
+                if depth[task] + 1 > depth[succ]:
+                    depth[succ] = depth[task] + 1
+        if self.n_tasks == 0:
+            return []
+        groups: List[List[int]] = [[] for _ in range(max(depth) + 1)]
+        for task in range(self.n_tasks):
+            groups[depth[task]].append(task)
+        return groups
+
     def critical_path_length(self, durations: List[float]) -> float:
         """Return the longest duration-weighted path (infinite-worker
         makespan lower bound)."""

@@ -1,7 +1,15 @@
-"""Small shared utilities: timers, disjoint sets, deterministic RNG."""
+"""Small shared utilities: timers, counters bus, disjoint sets, RNG."""
 
-from repro.utils.timing import StageTimer, Stopwatch
+from repro.utils.timing import Counter, StageTimer, Stopwatch, TimerMetric, Tracker
 from repro.utils.unionfind import UnionFind
 from repro.utils.rng import make_rng
 
-__all__ = ["StageTimer", "Stopwatch", "UnionFind", "make_rng"]
+__all__ = [
+    "Counter",
+    "StageTimer",
+    "Stopwatch",
+    "TimerMetric",
+    "Tracker",
+    "UnionFind",
+    "make_rng",
+]

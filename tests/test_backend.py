@@ -241,3 +241,65 @@ class TestFullRouterBackendIdentity:
         assert a.metrics.n_vias == b.metrics.n_vias
         assert a.metrics.shorts == b.metrics.shorts
         assert a.metrics.score == b.metrics.score
+
+
+class TestResidencyOps:
+    """The ops the device-resident maze path added to the protocol."""
+
+    @pytest.fixture()
+    def backends(self):
+        return get_backend("numpy"), get_backend("python")
+
+    def test_multiply_equal_logical_or_parity(self, backends):
+        npb, pyb = backends
+        rng = np.random.default_rng(5)
+        a = _random_pair(rng, (3, 4, 5), inf_fraction=0.15)
+        b = _random_pair(rng, (4, 1), inf_fraction=0.15)
+        assert np.array_equal(
+            npb.to_numpy(npb.multiply(a, b)),
+            pyb.to_numpy(pyb.multiply(a, b)),
+            equal_nan=True,
+        )
+        # IEEE equality: inf == inf is True; broadcast against a copy
+        # with a few perturbed entries.
+        c = a.copy()
+        c[rng.random(c.shape) < 0.3] += 1.0
+        assert np.array_equal(
+            npb.to_numpy(npb.equal(a, c)), pyb.to_numpy(pyb.equal(a, c))
+        )
+        ca = rng.random((3, 4)) < 0.5
+        cb = rng.random((4,)) < 0.5
+        assert np.array_equal(
+            npb.to_numpy(npb.logical_or(ca, cb)),
+            pyb.to_numpy(pyb.logical_or(ca, cb)),
+        )
+
+    def test_nbytes_payload_proxy(self, backends):
+        npb, pyb = backends
+        a = np.zeros((3, 4, 5))
+        assert npb.nbytes(npb.asarray(a)) == a.size * 8
+        assert pyb.nbytes(pyb.asarray(a)) == a.size * 8
+        flags = np.zeros((2, 3), dtype=bool)
+        assert npb.nbytes(npb.asarray(flags, "bool")) == flags.size
+        assert pyb.nbytes(pyb.asarray(flags, "bool")) == flags.size
+
+    def test_copyto_in_place_and_shape_check(self, backends):
+        npb, pyb = backends
+        rng = np.random.default_rng(6)
+        a = _random_pair(rng, (3, 4), inf_fraction=0.2)
+        dst_n = npb.zeros((3, 4), "float")
+        npb.copyto(dst_n, npb.asarray(a))
+        dst_p = pyb.zeros((3, 4), "float")
+        pyb.copyto(dst_p, pyb.asarray(a))
+        assert np.array_equal(
+            npb.to_numpy(dst_n), pyb.to_numpy(dst_p), equal_nan=True
+        )
+        # In place: the destination object is reused, not replaced.
+        before_p = dst_p
+        pyb.copyto(dst_p, pyb.zeros((3, 4), "float"))
+        assert dst_p is before_p
+        assert np.array_equal(pyb.to_numpy(dst_p), np.zeros((3, 4)))
+        with pytest.raises(ValueError, match="shape"):
+            npb.copyto(npb.zeros((2, 2), "float"), npb.asarray(a))
+        with pytest.raises(ValueError, match="shape"):
+            pyb.copyto(pyb.zeros((2, 2), "float"), pyb.asarray(a))

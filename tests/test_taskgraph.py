@@ -105,3 +105,51 @@ class TestBuildTaskGraph:
         position = {task: i for i, task in enumerate(order)}
         for a, b in conflicts.edges():
             assert position[a] != position[b]
+
+
+class TestLevels:
+    """Dependency-depth levels: the batched maze dispatch unit."""
+
+    def test_empty_graph(self):
+        assert build_task_graph(ConflictGraph(0)).levels() == []
+
+    def test_no_conflicts_single_level(self):
+        graph = build_task_graph(ConflictGraph(4))
+        assert graph.levels() == [[0, 1, 2, 3]]
+
+    def test_chain_levels(self):
+        conflicts = graph_from_edges(3, [(0, 1), (1, 2)])
+        graph = build_task_graph(conflicts)
+        assert graph.levels() == [[0, 2], [1]]
+
+    @given(
+        n=st.integers(1, 12),
+        edge_seed=st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=30
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_conflict_free_linear_extension(self, n, edge_seed):
+        conflicts = ConflictGraph(n)
+        for a, b in edge_seed:
+            if a < n and b < n and a != b:
+                conflicts.add_conflict(a, b)
+        graph = build_task_graph(conflicts)
+        levels = graph.levels()
+        # Partition of all tasks.
+        flat = [task for level in levels for task in level]
+        assert sorted(flat) == list(range(n))
+        # Every level is conflict-free.
+        for level in levels:
+            assert conflicts.is_independent_set(level)
+        # Level order is a linear extension: every edge crosses levels
+        # forward, so committing level-by-level (any order inside)
+        # reproduces the ordered policy on conflicting pairs.
+        depth_of = {
+            task: depth
+            for depth, level in enumerate(levels)
+            for task in level
+        }
+        for source in range(n):
+            for succ in graph.successors[source]:
+                assert depth_of[source] < depth_of[succ]

@@ -109,3 +109,65 @@ class TestRng:
     def test_different_seeds_differ(self):
         streams = {int(make_rng(("x", i)).integers(0, 10**12)) for i in range(20)}
         assert len(streams) == 20
+
+
+class TestTracker:
+    def test_counters_create_on_first_use_and_accumulate(self):
+        from repro.utils.timing import Tracker
+
+        tracker = Tracker()
+        tracker.get_counter("maze.nets").increment()
+        tracker.get_counter("maze.nets").increment(4)
+        assert tracker.get_counter("maze.nets") is tracker.get_counter("maze.nets")
+        assert tracker.counters() == {"maze.nets": 5}
+
+    def test_counter_rejects_negative(self):
+        from repro.utils.timing import Tracker
+
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Tracker().get_counter("x").increment(-1)
+
+    def test_timer_accumulates_and_rejects_negative(self):
+        from repro.utils.timing import Tracker
+
+        tracker = Tracker()
+        with tracker.get_timer("maze.search").time():
+            pass
+        tracker.get_timer("maze.search").add(0.5)
+        assert tracker.timers()["maze.search"] >= 0.5
+        with pytest.raises(ValueError, match="negative"):
+            tracker.get_timer("maze.search").add(-0.1)
+
+    def test_snapshot_delta_slices_monotone_totals(self):
+        from repro.utils.timing import Tracker
+
+        tracker = Tracker()
+        tracker.get_counter("a").increment(3)
+        tracker.get_timer("t").add(1.0)
+        before = tracker.snapshot()
+        tracker.get_counter("a").increment(2)
+        tracker.get_counter("b").increment(7)
+        tracker.get_timer("t").add(0.25)
+        counters, timers = tracker.delta(before)
+        assert counters["a"] == 2
+        assert counters["b"] == 7
+        assert timers["t"] == pytest.approx(0.25)
+
+    def test_threaded_increments_do_not_lose_counts(self):
+        import threading
+
+        from repro.utils.timing import Tracker
+
+        tracker = Tracker()
+        counter = tracker.get_counter("hits")
+
+        def work():
+            for _ in range(1000):
+                counter.increment()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
