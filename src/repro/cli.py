@@ -70,6 +70,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         overrides["maze_engine"] = args.maze_engine
     if args.maze_batching is not None:
         overrides["maze_batching"] = args.maze_batching
+    if args.pattern_batching is not None:
+        overrides["pattern_batching"] = args.pattern_batching
     if args.cost_engine is not None:
         overrides["cost_engine"] = args.cost_engine
     config = _PRESETS[args.config](**overrides)
@@ -80,7 +82,10 @@ def _cmd_route(args: argparse.Namespace) -> int:
     print(f"router        : {result.config_name}")
     print(f"backend       : {config.backend}")
     print(f"executor      : {config.executor} ({config.n_workers} workers)")
-    print(f"pattern stage : {result.pattern_time:.3f} s")
+    print(f"pattern stage : {result.pattern_time:.3f} s "
+          f"({result.pattern_batches} fused batches, "
+          f"{result.pattern_batched_nets} nets, "
+          f"{result.pattern_kernel_launches} kernel launches)")
     print(f"maze engine   : {result.maze_engine} "
           f"({result.maze_nodes_visited} nodes visited)")
     print(f"maze stage    : {result.maze_time:.3f} s (modelled parallel; "
@@ -245,6 +250,17 @@ def build_parser() -> argparse.ArgumentParser:
         "launches; bit-identical to per-net dispatch, only effective "
         "with --maze-engine wavefront (default: the preset's choice, "
         "which is on)",
+    )
+    route.add_argument(
+        "--pattern-batching", action=argparse.BooleanOptionalAction,
+        default=None,
+        help="fuse each conflict-free level of the pattern task graph "
+        "into one cross-net kernel invocation sequence (all two-pin "
+        "tasks at the same wave depth share each combine/L/Z/hybrid "
+        "launch) instead of per-chunk launches; bit-identical to "
+        "per-chunk dispatch, falls back to per-chunk under "
+        "--executor processes (default: the preset's choice, which "
+        "is on)",
     )
     route.add_argument(
         "--cost-engine", choices=COST_ENGINES, default=None,

@@ -72,6 +72,15 @@ class RouterConfig:
     # and threaded policies; bit-identical to per-net dispatch by
     # construction, so the default is on.
     maze_batching: bool = True
+    # Batched pattern dispatch: evaluate every conflict-free dependency
+    # level of the pattern task graph as ONE fused kernel invocation
+    # sequence — all two-pin tasks at the same wave depth across every
+    # net in the level share each combine/L/Z/hybrid launch — instead
+    # of per-chunk launches.  Levels are size-bucketed by net bounding
+    # box area first (see sched.batching.bucket_by_area).  Effective
+    # under the ordered and threaded policies; bit-identical to
+    # per-chunk dispatch by construction, so the default is on.
+    pattern_batching: bool = True
     # Cost-snapshot maintenance: "incremental" drains the grid's
     # dirty-rect log and patches only affected prefix suffixes;
     # "full" recomputes everything each rebuild (the bit-identical

@@ -40,7 +40,7 @@ from repro.netlist.design import Design
 from repro.netlist.net import Net
 from repro.pattern.batch import BatchPatternRouter
 from repro.pattern.cpu_reference import SequentialPatternRouter
-from repro.sched.batching import extract_batches
+from repro.sched.batching import bucket_by_area, extract_batches
 from repro.sched.pipeline import (
     ProcessStagePlan,
     ScheduledStage,
@@ -48,6 +48,7 @@ from repro.sched.pipeline import (
     StageRunner,
 )
 from repro.sched.sorting import sort_nets
+from repro.utils.timing import Tracker
 
 #: Per-process state of a pattern worker (set by the pool initializer).
 _PATTERN_WORKER: dict = {}
@@ -148,6 +149,7 @@ class PatternStage(ScheduledStage):
         device: Device,
         arena: ZeroCopyArena,
         context=None,
+        runtime_slot=None,
     ) -> None:
         graph = design.graph
         self.nets = sort_nets(list(design.netlist), config.sorting_scheme)
@@ -186,6 +188,14 @@ class PatternStage(ScheduledStage):
         self.config = config
         self._arena = None
         self._process_plan: Optional[ProcessStagePlan] = None
+        # Run-wide runtime slot (non-session processes policy): both
+        # stages park ONE SessionRuntime here so the maze stage reuses
+        # the pool this stage created; route_design owns its lifetime.
+        self._runtime_slot = runtime_slot
+        #: Counters bus: monotone "pattern.*" counters (fused batches,
+        #: nets routed through them, kernel launches) that
+        #: ``run_pattern_stage`` folds into the run report.
+        self.tracker = Tracker()
 
     def task_boxes(self) -> Sequence[Sequence[Rect]]:
         return self._boxes
@@ -199,59 +209,132 @@ class PatternStage(ScheduledStage):
     def run_task(self, task: int) -> Dict[str, Route]:
         chunk_nets = [self.nets[i] for i in self.chunks[task]]
         boxes = self._boxes[task]
-        if self._context is None:
-            with self._engine_lock:
+        with self._engine_lock:
+            return self._route_nets_locked(chunk_nets, boxes)
+
+    def _route_nets_locked(
+        self,
+        nets: List[Net],
+        boxes: Sequence[Rect],
+        batched: bool = False,
+    ) -> Dict[str, Route]:
+        """Route ``nets`` (disjoint ``boxes``) on the shared engine.
+
+        Caller holds the engine lock.  Without a session context this
+        is one masked ``route_batch``; with one it is the
+        content-addressed replay, *per net*: group-mates have disjoint
+        boxes and a cost snapshot frozen at stage start, so one net's
+        DP output is a pure function of (net, box, demand in the
+        box's incident-edge footprint) — independent of which chunk
+        the batch extractor placed it in and of how many chunks a
+        fused level stacked together.  Keys are computed before any
+        commit (the group-start demand a cold run would see); cached
+        hits commit O(route), the rest route as a sub-batch masked to
+        their own boxes.  Hit commits can't perturb the misses: a
+        hit's route writes edges with both endpoints inside its own
+        box, which a disjoint miss box's incident-edge window never
+        contains.
+        """
+        tracker = self.tracker
+        n_launches_before = len(self.engine.device.launches)
+        try:
+            if self._context is None:
+                if batched:
+                    tracker.get_counter("pattern.batches").increment()
+                    tracker.get_counter("pattern.batched_nets").increment(
+                        len(nets)
+                    )
                 return self.engine.route_batch(
-                    chunk_nets,
+                    nets,
                     self.mode_fn,
-                    cost_boxes=boxes,
+                    cost_boxes=list(boxes),
                     cost_reference=self.cost_reference,
                 )
-        # Content-addressed replay, *per net*: chunk-mates have disjoint
-        # boxes and a cost snapshot frozen at chunk start, so one net's
-        # DP output is a pure function of (net, box, demand in the
-        # box's incident-edge footprint) — independent of which chunk
-        # the batch extractor placed it in.  Keys are computed before
-        # any commit (the chunk-start demand a cold run would see);
-        # cached hits commit O(route), the rest route as a sub-batch
-        # masked to their own boxes.  Hit commits can't perturb the
-        # misses: a hit's route writes edges with both endpoints inside
-        # its own box, which a disjoint miss box's incident-edge window
-        # never contains.
-        from repro.session.cache import demand_signature, pattern_net_key
+            from repro.session.cache import demand_signature, pattern_net_key
 
-        cache = self._context.cache
-        keys = [
-            pattern_net_key(net, box, demand_signature(self._graph, [box]))
-            for net, box in zip(chunk_nets, boxes)
-        ]
-        hits: List[Tuple[str, Route]] = []
-        missing: List[int] = []
-        for i, key in enumerate(keys):
-            found, route = cache.get(key)
-            if found:
-                hits.append((chunk_nets[i].name, route))
-            else:
-                missing.append(i)
-        routes: Dict[str, Route] = {}
-        with self._engine_lock:
+            cache = self._context.cache
+            keys = [
+                pattern_net_key(net, box, demand_signature(self._graph, [box]))
+                for net, box in zip(nets, boxes)
+            ]
+            hits: List[Tuple[str, Route]] = []
+            missing: List[int] = []
+            for i, key in enumerate(keys):
+                found, route = cache.get(key)
+                if found:
+                    hits.append((nets[i].name, route))
+                else:
+                    missing.append(i)
+            routes: Dict[str, Route] = {}
             for name, route in hits:
                 route.commit(self._graph)
                 routes[name] = route
             if missing:
+                if batched:
+                    tracker.get_counter("pattern.batches").increment()
+                    tracker.get_counter("pattern.batched_nets").increment(
+                        len(missing)
+                    )
                 fresh = self.engine.route_batch(
-                    [chunk_nets[i] for i in missing],
+                    [nets[i] for i in missing],
                     self.mode_fn,
                     cost_boxes=[boxes[i] for i in missing],
                     cost_reference=self.cost_reference,
                 )
                 routes.update(fresh)
                 for i in missing:
-                    cache.put(keys[i], fresh[chunk_nets[i].name])
-        return routes
+                    cache.put(keys[i], fresh[nets[i].name])
+            return routes
+        finally:
+            tracker.get_counter("pattern.kernel_launches").increment(
+                len(self.engine.device.launches) - n_launches_before
+            )
 
     def commit_task(self, task: int, result: Dict[str, Route]) -> None:
         self.routes.update(result)
+
+    # ------------------------------------------------------------------ #
+    # Batched dispatch (stacked cross-net pattern kernels)
+    # ------------------------------------------------------------------ #
+    def batch_plan(self, schedule) -> Optional[List[List[int]]]:
+        """Dispatch the task graph's dependency levels as fused launches.
+
+        Levels are conflict-free and their order is a linear extension
+        of the DAG, so fusing a whole level into one ``route_batch``
+        (one masked rebuild over the union of boxes, waves merged
+        across every member net) and committing member results in
+        group order reproduces the ordered policy bit for bit — each
+        member's DP reads only costs inside its own box, which no
+        disjoint level-mate's commit can touch.  Levels are split into
+        size buckets by largest-net bounding-box area first so one
+        oversized chunk cannot dominate every stacked wave it shares.
+        """
+        if not self.config.pattern_batching:
+            return None
+        areas = [
+            max((box.area for box in boxes), default=0)
+            for boxes in self._boxes
+        ]
+        plan: List[List[int]] = []
+        for level in schedule.task_graph.levels():
+            plan.extend(bucket_by_area(level, areas))
+        return plan
+
+    def run_batch(self, tasks: Sequence[int]) -> Dict[int, Dict[str, Route]]:
+        member_names: List[Tuple[int, List[str]]] = []
+        all_nets: List[Net] = []
+        all_boxes: List[Rect] = []
+        for task in tasks:
+            chunk_nets = [self.nets[i] for i in self.chunks[task]]
+            member_names.append((task, [net.name for net in chunk_nets]))
+            all_nets.extend(chunk_nets)
+            all_boxes.extend(self._boxes[task])
+        with self._engine_lock:
+            routes = self._route_nets_locked(all_nets, all_boxes, batched=True)
+        return {
+            task: {name: routes[name] for name in names}
+            for task, names in member_names
+        }
 
     # ------------------------------------------------------------------ #
     # "processes" policy
@@ -280,6 +363,28 @@ class PatternStage(ScheduledStage):
                     )
                 self._process_plan = ProcessStagePlan(
                     pool=self._context.runtime.pool,
+                    payload=self._runtime_payload,
+                    collect=self._process_collect,
+                )
+            return self._process_plan
+        if self._runtime_slot is not None:
+            # Non-session runs under the processes policy get the same
+            # shared-pool wiring: ONE SessionRuntime (arena + combined
+            # worker pool) parked on the run's slot, created by
+            # whichever stage reaches it first and reused by the maze
+            # stage.  route_design owns closing it after both stages.
+            if self._process_plan is None:
+                from repro.session.runtime import SessionRuntime
+
+                if self._runtime_slot.runtime is None:
+                    self._runtime_slot.runtime = SessionRuntime(
+                        self._graph,
+                        self.config,
+                        n_workers,
+                        cost_reference=self.cost_reference,
+                    )
+                self._process_plan = ProcessStagePlan(
+                    pool=self._runtime_slot.runtime.pool,
                     payload=self._runtime_payload,
                     collect=self._process_collect,
                 )
@@ -325,6 +430,9 @@ class PatternStage(ScheduledStage):
         engine.query.stats.add(stats_delta)
         if launches:
             engine.device.launches.extend(launches)
+            self.tracker.get_counter("pattern.kernel_launches").increment(
+                len(launches)
+            )
         sent, received, n_transfers = transfers
         engine.arena.bytes_to_device += sent
         engine.arena.bytes_to_host += received
@@ -338,10 +446,11 @@ class PatternStage(ScheduledStage):
     def teardown_processes(self) -> None:
         """Release the worker pool and the shared arena (idempotent).
 
-        A session-owned runtime outlives the stage — the session closes
+        A session- or run-owned runtime outlives the stage — its owner
+        (the session, or route_design for the run-wide slot) closes
         it; the stage only drops its plan reference.
         """
-        if self._context is not None:
+        if self._context is not None or self._runtime_slot is not None:
             self._process_plan = None
             return
         if self._process_plan is not None:
@@ -420,10 +529,18 @@ class RerouteStage(ScheduledStage):
         of the DAG, so the runner's group execution commits conflicting
         nets in exactly the ordered policy's order — bit-identical
         results (the stacked search itself is per-member bit-identical).
+        Each level is split into size buckets by search-region area
+        first: the stacked fixpoint runs until its slowest member
+        freezes, so one oversized region would otherwise stretch every
+        small mate's pass count (and pad every slab to its size).
         """
         if not (self._batching and self.engine.supports_batch):
             return None
-        return schedule.task_graph.levels()
+        areas = [boxes[0].area for boxes in self._boxes]
+        plan: List[List[int]] = []
+        for level in schedule.task_graph.levels():
+            plan.extend(bucket_by_area(level, areas))
+        return plan
 
     def run_batch(self, tasks: Sequence[int]) -> Dict[int, Optional[Route]]:
         names = [self.ordered_nets[task].name for task in tasks]
@@ -532,16 +649,25 @@ def run_pattern_stage(
     arena: ZeroCopyArena,
     cost_stats: Optional[Dict[str, float]] = None,
     context=None,
+    stage_stats: Optional[Dict[str, float]] = None,
+    runtime_slot=None,
 ) -> Tuple[Dict[str, Route], StageReport]:
     """Route every net with pattern routing.
 
     Returns the committed routes (keyed in netlist order) and the
     pipeline's execution report.  With ``cost_stats`` (a dict the
     caller owns), the stage's cost-engine counters are written into it.
+    With ``stage_stats``, the stage's ``pattern.*`` tracker counters
+    (fused batches, batched nets, kernel launches) are written into it.
     With a session ``context``, task results, Steiner trees, and
-    schedules are served from (and fill) its warm caches.
+    schedules are served from (and fill) its warm caches.  With a
+    ``runtime_slot`` (non-session processes policy), the worker pool is
+    parked on the slot so the maze stage reuses it.
     """
-    stage = PatternStage(design, config, device, arena, context=context)
+    stage = PatternStage(
+        design, config, device, arena, context=context,
+        runtime_slot=runtime_slot,
+    )
     runner = _make_runner(config)
     try:
         report = runner.run(stage, schedule=_cached_schedule(runner, stage, context))
@@ -549,6 +675,19 @@ def run_pattern_stage(
         stage.teardown_processes()
     if cost_stats is not None:
         cost_stats.update(stage.engine.query.stats.as_dict())
+    if stage_stats is not None:
+        counters = stage.tracker.counters()
+        stage_stats.update(
+            {
+                "batches": float(counters.get("pattern.batches", 0)),
+                "batched_nets": float(
+                    counters.get("pattern.batched_nets", 0)
+                ),
+                "kernel_launches": float(
+                    counters.get("pattern.kernel_launches", 0)
+                ),
+            }
+        )
     # Commit order is schedule-dependent under the threaded policy;
     # re-key in netlist order so the mapping itself is deterministic.
     routes = {net.name: stage.routes[net.name] for net in design.netlist}
@@ -563,6 +702,7 @@ def run_rrr_stage(
     cost_stats: Optional[Dict[str, float]] = None,
     context=None,
     on_iteration=None,
+    runtime_slot=None,
 ) -> Tuple[int, List[IterationStats]]:
     """Run the rip-up-and-reroute iterations in place.
 
@@ -591,6 +731,7 @@ def run_rrr_stage(
         cost_engine=config.cost_engine,
         context=context,
         config=config,
+        runtime_slot=runtime_slot,
     )
     runner = _make_runner(config)
     rrr_scheme = config.rrr_sorting_scheme or config.sorting_scheme

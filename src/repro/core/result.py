@@ -87,6 +87,11 @@ class RoutingResult:
     transfer_stats: Dict[str, float] = field(default_factory=dict)
     # Pipeline execution record of the pattern stage (chunk tasks).
     pattern_report: Optional[StageReport] = None
+    # Batched pattern dispatch counters ("pattern.*" tracker totals):
+    # fused cross-net launches run, nets routed through them, and
+    # kernel invocations the stage issued (0/0 under per-chunk
+    # dispatch or the processes fallback).
+    pattern_stats: Dict[str, float] = field(default_factory=dict)
 
     def stage_reports(self) -> List[StageReport]:
         """All pipeline reports, pattern stage first then per iteration."""
@@ -128,6 +133,21 @@ class RoutingResult:
         return sum(it.batched_nets for it in self.iterations)
 
     @property
+    def pattern_batches(self) -> int:
+        """Fused cross-net pattern dispatches run by the stage."""
+        return int(self.pattern_stats.get("batches", 0))
+
+    @property
+    def pattern_batched_nets(self) -> int:
+        """Nets routed through fused pattern dispatches."""
+        return int(self.pattern_stats.get("batched_nets", 0))
+
+    @property
+    def pattern_kernel_launches(self) -> int:
+        """Kernel invocations the pattern stage issued."""
+        return int(self.pattern_stats.get("kernel_launches", 0))
+
+    @property
     def maze_time_taskgraph(self) -> float:
         """Modelled parallel MAZE seconds under the task-graph scheduler."""
         return sum(it.taskgraph_makespan for it in self.iterations)
@@ -159,6 +179,9 @@ class RoutingResult:
             "maze_nodes_visited": float(self.maze_nodes_visited),
             "maze_batches": float(self.maze_batches),
             "maze_batched_nets": float(self.maze_batched_nets),
+            "pattern_batches": float(self.pattern_batches),
+            "pattern_batched_nets": float(self.pattern_batched_nets),
+            "pattern_kernel_launches": float(self.pattern_kernel_launches),
         }
         if self.pattern_report is not None:
             data["pattern_tasks"] = float(self.pattern_report.n_tasks)

@@ -679,6 +679,17 @@ class CostQuery:
         reproduces the oracle masked rebuild bit for bit — the rest of
         the arrays already equal the reference.  A reference change
         (once per stage) seeds the buffers with one full copy.
+
+        Upload accounting: only the *fresh* boxes count toward
+        ``last_upload_bytes`` — restores copy from the reference
+        planes, which are already device-resident (uploaded once at
+        seeding), so refreshing the preallocated slab in place moves
+        no new host bytes for them.  This matches the full engine's
+        oracle tally (:meth:`_boxes_edge_tally` over the new boxes);
+        without the split, every stacked launch reusing the scratch
+        would double-count its predecessor's slab as bus traffic.
+        The ``refreshed_*`` stats still count restores — they measure
+        host-side recompute work, which the restores really do.
         """
         seeded = not (
             self._ready and self._mode == "masked" and self._same_reference(reference)
@@ -688,9 +699,14 @@ class CostQuery:
         h_rects: Set[IntRect] = set()
         v_rects: Set[IntRect] = set()
         via_rects: Set[IntRect] = set()
+        restored_h: Set[IntRect] = set()
+        restored_v: Set[IntRect] = set()
+        restored_via: Set[IntRect] = set()
         if not seeded:
             for box in self._masked_boxes:
-                self._apply_box(box, reference, h_rects, v_rects, via_rects)
+                self._apply_box(
+                    box, reference, restored_h, restored_v, restored_via
+                )
         for box in boxes:
             self._apply_box(box, None, h_rects, v_rects, via_rects)
         self._masked_boxes = tuple(boxes)
@@ -699,16 +715,28 @@ class CostQuery:
         if seeded:
             wire_n = sum(int(a.size) for a in self.wire_cost)
             via_n = int(self.via_cost.size)
+            upload_wire_n, upload_via_n = wire_n, via_n
         else:
             n_h = int(self._h_allowed.sum())
             n_v = self.n_layers - n_h
-            wire_n = (
+            upload_wire_n = (
                 rect_union_area(h_rects) * n_h + rect_union_area(v_rects) * n_v
             )
-            via_n = rect_union_area(via_rects) * max(self.n_layers - 1, 0)
+            upload_via_n = rect_union_area(via_rects) * max(
+                self.n_layers - 1, 0
+            )
+            wire_n = (
+                rect_union_area(h_rects | restored_h) * n_h
+                + rect_union_area(v_rects | restored_v) * n_v
+            )
+            via_n = rect_union_area(via_rects | restored_via) * max(
+                self.n_layers - 1, 0
+            )
         self.stats.refreshed_wire_edges += wire_n
         self.stats.refreshed_via_edges += via_n
-        self.last_upload_bytes = (wire_n + via_n) * self.via_cost.itemsize
+        self.last_upload_bytes = (
+            upload_wire_n + upload_via_n
+        ) * self.via_cost.itemsize
 
     def _same_reference(self, reference) -> bool:
         prev = self._masked_ref

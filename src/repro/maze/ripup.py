@@ -179,6 +179,7 @@ class RipupReroute:
         cost_engine: str = "full",
         context=None,
         config=None,
+        runtime_slot=None,
     ) -> None:
         self.graph = graph
         self.nets = netlist_by_name
@@ -214,6 +215,10 @@ class RipupReroute:
         self._context = context
         self._config = config
         self._runtime = None
+        # Run-wide runtime slot (non-session processes policy): the
+        # pattern stage usually parks a SessionRuntime here first; the
+        # maze stage reuses its pool.  route_design owns its lifetime.
+        self._runtime_slot = runtime_slot
 
     @property
     def maze(self) -> MazeRouter:
@@ -288,6 +293,19 @@ class RipupReroute:
                 self._runtime = ensure_runtime(
                     self._context, self.graph, self._config, n_workers
                 )
+            return self._runtime.pool
+        if self._runtime_slot is not None and self._config is not None:
+            # Non-session shared pool: reuse the runtime the pattern
+            # stage parked on the run's slot (creating it here only if
+            # the pattern stage never ran under processes).
+            if self._runtime is None:
+                if self._runtime_slot.runtime is None:
+                    from repro.session.runtime import SessionRuntime
+
+                    self._runtime_slot.runtime = SessionRuntime(
+                        self.graph, self._config, n_workers
+                    )
+                self._runtime = self._runtime_slot.runtime
             return self._runtime.pool
         if self._pool is None:
             from repro.sched.executor import WorkerPool, resolve_worker_processes

@@ -11,6 +11,15 @@ invocation sequence for a conflict-free batch of multi-pin nets:
    kernel (Eq. 2) and one L/Z/hybrid kernel (Eq. 7/14);
 4. reconstruct routes, commit their demand.
 
+The waves are built ACROSS nets (:func:`~repro.pattern.twopin.build_waves`
+groups every job's two-pin tasks by subtree height), so the more nets
+one ``route_batch`` call covers, the wider — and fewer — the stacked
+kernel launches.  The scheduler exploits exactly this: with
+``pattern_batching`` on, :class:`~repro.core.flow.PatternStage` fuses a
+whole conflict-free dependency level (size-bucketed by net bounding-box
+area) into ONE ``route_batch`` call, one padded cross-net launch per
+wave depth instead of one launch sequence per net.
+
 The array substrate is pluggable: ``backend`` selects any registered
 :class:`~repro.backend.ArrayBackend` (``"numpy"`` by default,
 ``"python"`` for the sequential scalar baseline, ``"cupy"`` on CUDA
@@ -260,12 +269,20 @@ class BatchPatternRouter:
     def _account_cost_upload(self) -> None:
         """Record the cost-snapshot upload the device reads per batch.
 
-        The engine reports the deduplicated byte count of the edges the
-        last rebuild actually rewrote (a masked rebuild only refreshes
-        the batch's boxes; overlapping boxes are counted once), so the
-        zero-copy arena accounts exactly what crosses the bus.
+        The engine reports the deduplicated byte count of the *fresh*
+        edges the last rebuild actually rewrote from demand (a masked
+        rebuild only refreshes the batch's boxes; overlapping boxes
+        are counted once, and in-place restores of a previous batch's
+        slab to the device-resident reference are not bus traffic —
+        see :meth:`~repro.grid.cost.CostQuery` masked accounting), so
+        the zero-copy arena accounts exactly what crosses the bus.  A
+        rebuild that moved nothing records no transfer at all — a
+        stacked launch reusing the resident slab must not book a
+        phantom bus transaction.
         """
-        self.arena.send(self.query.last_upload_bytes)
+        n_bytes = self.query.last_upload_bytes
+        if n_bytes:
+            self.arena.send(n_bytes)
 
 
 __all__ = ["BatchPatternRouter"]

@@ -22,6 +22,49 @@ import numpy as np
 from repro.grid.geometry import Rect
 
 
+def bucket_by_area(
+    level: Sequence[int],
+    areas: Sequence[int],
+    max_ratio: float = 4.0,
+) -> List[List[int]]:
+    """Split one conflict-free level into size-comparable buckets.
+
+    Stacked dispatch pads every member of a fused launch to the
+    bucket's maximum slab, and the stacked fixpoint runs until its
+    *slowest* member stabilises — so one oversized member stretches
+    the pass count (and the padding waste) of every small member
+    stacked with it.  Members are sorted by ``(area, task_id)`` and a
+    new bucket starts whenever a member's area exceeds ``max_ratio``
+    times the area of the bucket's first (smallest) member.
+
+    Both stages share this planner: the maze stage buckets reroute
+    levels by search-region area, the pattern stage buckets chunk
+    levels by their largest net bounding box.  Buckets inherit the
+    level's conflict-freedom (they are subsets), and emitting a
+    level's buckets consecutively keeps the group sequence a linear
+    extension of the task graph — the bit-parity precondition of the
+    runner's fused dispatch.  Deterministic: pure function of
+    ``(level, areas, max_ratio)``.
+    """
+    if max_ratio < 1.0:
+        raise ValueError("max_ratio must be >= 1.0")
+    order = sorted(level, key=lambda task: (areas[task], task))
+    buckets: List[List[int]] = []
+    current: List[int] = []
+    base_area = 0
+    for task in order:
+        area = int(areas[task])
+        if current and area > max_ratio * max(base_area, 1):
+            buckets.append(current)
+            current = []
+        if not current:
+            base_area = area
+        current.append(task)
+    if current:
+        buckets.append(current)
+    return buckets
+
+
 def extract_batches(
     boxes: Sequence[Rect], nx: int, ny: int
 ) -> List[List[int]]:
@@ -64,4 +107,4 @@ def extract_batches(
     return batches
 
 
-__all__ = ["extract_batches"]
+__all__ = ["bucket_by_area", "extract_batches"]

@@ -139,7 +139,30 @@ def ensure_runtime(context, graph: GridGraph, config: RouterConfig, n_workers: i
     return context.runtime
 
 
+class RuntimeSlot:
+    """A run-scoped parking spot for one shared :class:`SessionRuntime`.
+
+    The non-session ``processes`` path used to give each stage its own
+    pool and arena; ``route_design`` now creates one slot per run, both
+    stages lazily park ONE runtime on it (whichever stage reaches the
+    policy first creates it, the other reuses the pool), and
+    ``route_design`` closes it after both stages finish.
+    """
+
+    __slots__ = ("runtime",)
+
+    def __init__(self) -> None:
+        self.runtime: Optional[SessionRuntime] = None
+
+    def close(self) -> None:
+        """Close the parked runtime, if any (idempotent)."""
+        if self.runtime is not None:
+            self.runtime.close()
+            self.runtime = None
+
+
 __all__ = [
+    "RuntimeSlot",
     "SessionRuntime",
     "ensure_runtime",
     "zero_demand_reference",

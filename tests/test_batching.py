@@ -1,12 +1,13 @@
-"""Tests for Algorithm 1 batch extraction."""
+"""Tests for Algorithm 1 batch extraction and level size-bucketing."""
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.grid.geometry import Rect
-from repro.sched.batching import extract_batches
+from repro.sched.batching import bucket_by_area, extract_batches
 from repro.sched.conflict import build_conflict_graph
 
 
@@ -70,3 +71,55 @@ class TestExtractBatches:
             for task in remaining - chosen:
                 assert any(conflict.are_conflicting(task, b) for b in batch)
             remaining -= chosen
+
+
+class TestBucketByArea:
+    def test_uniform_level_single_bucket_sorted(self):
+        areas = [30, 10, 20]
+        assert bucket_by_area([0, 1, 2], areas) == [[1, 2, 0]]
+
+    def test_splits_when_ratio_exceeded(self):
+        # 4x the smallest member's area is the default split point.
+        areas = [4, 16, 17, 400]
+        assert bucket_by_area([0, 1, 2, 3], areas) == [[0, 1], [2], [3]]
+
+    def test_base_rebinds_per_bucket(self):
+        # Each new bucket compares against ITS first (smallest) member,
+        # not the level minimum: 100 <= 4*25 keeps the pair together.
+        areas = [5, 25, 100]
+        assert bucket_by_area([0, 1, 2], areas) == [[0], [1, 2]]
+
+    def test_zero_area_members(self):
+        # Degenerate boxes (single-pin / stacked-via nets) bucket with
+        # anything up to 4x max(base, 1).
+        areas = [0, 0, 4, 5]
+        assert bucket_by_area([0, 1, 2, 3], areas) == [[0, 1, 2], [3]]
+
+    def test_ties_break_by_task_id(self):
+        areas = [7, 7, 7]
+        assert bucket_by_area([2, 0, 1], areas) == [[0, 1, 2]]
+
+    def test_empty_level(self):
+        assert bucket_by_area([], []) == []
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_by_area([0], [1], max_ratio=0.5)
+
+    @given(
+        areas=st.lists(st.integers(0, 10_000), min_size=1, max_size=40),
+        ratio=st.floats(1.0, 16.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_partition_and_bounded_spread(self, areas, ratio):
+        level = list(range(len(areas)))
+        buckets = bucket_by_area(level, areas, max_ratio=ratio)
+        flat = [t for bucket in buckets for t in bucket]
+        # A permutation of the level...
+        assert sorted(flat) == level
+        # ...emitted in ascending-area order overall...
+        assert [areas[t] for t in flat] == sorted(areas)
+        # ...with every bucket's spread bounded by the ratio.
+        for bucket in buckets:
+            base = max(areas[bucket[0]], 1)
+            assert all(areas[t] <= ratio * base for t in bucket)

@@ -12,8 +12,15 @@ pass, and exactly one field download happens per splice search.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+#: The CI seam forcing every run onto the processes policy — stacked
+#: dispatch is then never consulted, so counter expectations flip
+#: while parity expectations stand.
+FORCED_PROCESSES = os.environ.get("REPRO_FORCE_EXECUTOR") == "processes"
 
 from repro.backend import available_backends
 from repro.core.config import RouterConfig
@@ -271,10 +278,14 @@ class TestFlowBatchingParity:
         assert on.metrics.n_vias == off.metrics.n_vias
         assert on.metrics.score == off.metrics.score
         # The batched run actually fused multi-net levels; the per-net
-        # run never did.
+        # run never did.  (Under the forced-processes CI seam neither
+        # run batches — the parity assertions above still bite.)
         assert on.nets_to_ripup > 0
-        assert on.maze_batches > 0
-        assert on.maze_batched_nets >= on.maze_batches
+        if FORCED_PROCESSES:
+            assert on.maze_batches == 0
+        else:
+            assert on.maze_batches > 0
+            assert on.maze_batched_nets >= on.maze_batches
         assert off.maze_batches == 0
 
     def test_backend_parity_with_batching(self):
@@ -347,6 +358,11 @@ class TestDeviceResidency:
             assert kernel.bytes_to_device == 0
             assert kernel.bytes_to_host == 0
 
+    @pytest.mark.skipif(
+        FORCED_PROCESSES,
+        reason="transfer counters meter the in-process dispatch paths; "
+        "the processes policy shards per task in workers",
+    )
     def test_iteration_stats_carry_transfer_counters(self):
         design = congested_design()
         config = RouterConfig.fastgr_l(
@@ -478,3 +494,86 @@ class TestBatchedSchedulerDispatch:
         graph = fresh_grid()
         engine = RipupReroute(graph, {}, engine="dijkstra")
         assert not engine.supports_batch
+
+
+class TestBucketedPassCounts:
+    """Satellite: size-bucketed level stacking bounds fixpoint passes.
+
+    A stacked relaxation runs until its slowest member freezes, so a
+    bucket's pass count never exceeds the per-net maximum over its
+    members — freeze-at-first-stable settles each member exactly when
+    its solo run would, and bucketing keeps slabs of similar size
+    together so a grid-spanning region cannot stretch (and pad) every
+    small mate's fixpoint.
+    """
+
+    @staticmethod
+    def _ragged_scene():
+        """Three small nets and one grid-spanning net, margin-2 search
+        regions pairwise disjoint — ONE conflict-free level, ragged."""
+        graph = fresh_grid(nx=32, ny=32, demand_seed=3)
+        nets = [
+            Net("s0", [Pin(2, 2, 0), Pin(5, 4, 2)]),
+            Net("s1", [Pin(14, 2, 0), Pin(17, 4, 1)]),
+            Net("s2", [Pin(25, 2, 1), Pin(28, 4, 2)]),
+            Net("huge", [Pin(2, 14, 0), Pin(29, 29, 2)]),
+        ]
+        return graph, nets
+
+    def test_bucket_passes_never_exceed_member_max(self):
+        from repro.sched.batching import bucket_by_area
+
+        margin = 2
+        graph, nets = self._ragged_scene()
+        boxes = [
+            net.bbox.expanded(margin).clipped(graph.nx, graph.ny)
+            for net in nets
+        ]
+        buckets = bucket_by_area(
+            list(range(len(nets))), [box.area for box in boxes]
+        )
+        # The grid-spanning region rides alone; the small ones stack.
+        assert len(buckets) == 2
+        assert [nets[i].name for i in buckets[-1]] == ["huge"]
+
+        solo = WavefrontMazeRouter(graph, margin=margin, backend="numpy")
+        solo.query.rebuild()
+        solo_passes = []
+        for net in nets:
+            solo.route_net(net, rebuild=False)
+            solo_passes.append(solo.last_n_passes)
+
+        batch = WavefrontMazeRouter(graph, margin=margin, backend="numpy")
+        batch.query.rebuild()
+        for bucket in buckets:
+            batch.route_batch([nets[i] for i in bucket], rebuild=False)
+            assert batch.last_n_passes <= max(
+                solo_passes[i] for i in bucket
+            ), bucket
+
+    def test_reroute_stage_plan_splits_ragged_levels(self):
+        graph, nets = self._ragged_scene()
+        from repro.core.flow import RerouteStage
+        from repro.sched.pipeline import StageRunner
+
+        nets_by_name = {net.name: net for net in nets}
+        engine = RipupReroute(
+            graph, nets_by_name, margin=2, engine="wavefront", backend="numpy"
+        )
+        routes = {}
+        for net in nets:
+            route = engine.maze.route_net(net)
+            route.commit(graph)
+            routes[net.name] = route
+        stage = RerouteStage(engine, routes, nets, 2, batching=True)
+        schedule = StageRunner(policy="ordered").schedule(stage)
+        levels = schedule.task_graph.levels()
+        plan = stage.batch_plan(schedule)
+        assert plan is not None
+        # Bucketing refines levels without dropping or reordering work
+        # across them...
+        assert sorted(t for g in plan for t in g) == sorted(
+            t for level in levels for t in level
+        )
+        # ...and actually split at least one ragged level.
+        assert len(plan) > len(levels)
